@@ -1,0 +1,390 @@
+(* Bechamel microbenchmarks — the wall-clock companions to the model-based
+   experiment tables (see DESIGN.md section 4 and EXPERIMENTS.md):
+
+   - lookup/*       -> E5 (dataplane scaling), real time per classification
+   - translator/*   -> the SS_1 split ablation (DESIGN section 5)
+   - pmd/batch-*    -> PMD batching ablation
+   - e2e/*          -> E2/E3 companions: a full ping through HARMLESS
+   - wire/*, table/* and mgmt/* -> substrate costs backing everything else
+
+   After the microbenches, the experiment tables (E1-E10) are printed so
+   `dune exec bench/main.exe` regenerates every figure in one artifact. *)
+
+open Bechamel
+open Toolkit
+
+let mac i = Netpkt.Mac_addr.make_local i
+let ip = Netpkt.Ipv4_addr.of_string
+
+(* ---- lookup/* : one classification per run ---- *)
+
+let lookup_tests =
+  let mk_bench name dataplane_of rules =
+    let pipeline = Experiments_lib.E5_dataplane.build_pipeline rules in
+    let dp : Softswitch.Dataplane.t = dataplane_of pipeline in
+    let packets =
+      Experiments_lib.E5_dataplane.workload ~rng:(Simnet.Rng.create 5)
+        ~num_rules:rules ~skew:0.0 ~count:1024
+    in
+    let i = ref 0 in
+    Test.make
+      ~name:(Printf.sprintf "%s-%d" name rules)
+      (Staged.stage (fun () ->
+           let pkt = packets.(!i land 1023) in
+           incr i;
+           ignore (dp.Softswitch.Dataplane.process ~now_ns:0 ~in_port:0 pkt)))
+  in
+  Test.make_grouped ~name:"lookup"
+    (List.concat_map
+       (fun rules ->
+         [
+           mk_bench "linear" Softswitch.Linear.create rules;
+           mk_bench "ovs" (fun p -> Softswitch.Ovs_like.create p) rules;
+           mk_bench "eswitch" Softswitch.Eswitch.create rules;
+         ])
+       [ 100; 1000 ])
+
+(* ---- translator/* : SS_1 in both directions ---- *)
+
+let translator_tests =
+  let engine = Simnet.Engine.create () in
+  let map = Harmless.Port_map.make ~access_ports:[ 0; 1; 2; 3 ] () in
+  let ss1 =
+    Softswitch.Soft_switch.create engine ~name:"b-ss1" ~ports:5
+      ~miss:Softswitch.Soft_switch.Drop_on_miss ()
+  in
+  Harmless.Translator.install ss1 map;
+  let tagged =
+    Netpkt.Packet.udp
+      ~vlans:[ Netpkt.Vlan.make 102 ]
+      ~dst:(mac 2) ~src:(mac 1) ~ip_src:(ip "10.0.0.1") ~ip_dst:(ip "10.0.0.2")
+      ~src_port:1 ~dst_port:2 "x"
+  in
+  let untagged =
+    Netpkt.Packet.udp ~dst:(mac 2) ~src:(mac 1) ~ip_src:(ip "10.0.0.1")
+      ~ip_dst:(ip "10.0.0.2") ~src_port:1 ~dst_port:2 "x"
+  in
+  Test.make_grouped ~name:"translator"
+    [
+      Test.make ~name:"trunk-to-patch"
+        (Staged.stage (fun () ->
+             ignore
+               (Softswitch.Soft_switch.process_direct ss1 ~now_ns:0 ~in_port:0 tagged)));
+      Test.make ~name:"patch-to-trunk"
+        (Staged.stage (fun () ->
+             ignore
+               (Softswitch.Soft_switch.process_direct ss1 ~now_ns:0 ~in_port:2
+                  untagged)));
+    ]
+
+(* ---- pmd/batch-* : 256 packets through the CPU model ---- *)
+
+let pmd_tests =
+  let mk batch =
+    Test.make
+      ~name:(Printf.sprintf "batch-%d" batch)
+      (Staged.stage (fun () ->
+           let engine = Simnet.Engine.create () in
+           let pmd =
+             Softswitch.Pmd.create engine
+               ~config:{ Softswitch.Pmd.default_config with Softswitch.Pmd.batch_size = batch }
+               ()
+           in
+           for _ = 1 to 256 do
+             ignore (Softswitch.Pmd.submit pmd ~cycles:120 (fun () -> ()))
+           done;
+           Simnet.Engine.run engine))
+  in
+  Test.make_grouped ~name:"pmd" [ mk 1; mk 32; mk 256 ]
+
+(* ---- e2e/* : a full ping through a prebuilt deployment ---- *)
+
+let e2e_tests =
+  let build kind =
+    let engine = Simnet.Engine.create () in
+    let deployment =
+      match kind with
+      | `Harmless -> (
+          match Harmless.Deployment.build_harmless engine ~num_hosts:2 () with
+          | Ok d -> d
+          | Error m -> failwith m)
+      | `Plain -> Harmless.Deployment.build_plain_openflow engine ~num_hosts:2 ()
+    in
+    ignore
+      (Experiments_lib.Common.attach_with_apps deployment
+         [ Experiments_lib.Common.proactive_l2 ~num_hosts:2 ]);
+    deployment
+  in
+  let ping_through deployment =
+    let engine = deployment.Harmless.Deployment.engine in
+    let h0 = Harmless.Deployment.host deployment 0 in
+    let seq = ref 0 in
+    fun () ->
+      incr seq;
+      Simnet.Host.ping h0
+        ~dst_mac:(Harmless.Deployment.host_mac 1)
+        ~dst_ip:(Harmless.Deployment.host_ip 1)
+        ~seq:(!seq land 0xffff);
+      Simnet.Engine.run engine
+  in
+  let harmless = ping_through (build `Harmless) in
+  let plain = ping_through (build `Plain) in
+  Test.make_grouped ~name:"e2e"
+    [
+      Test.make ~name:"ping-harmless" (Staged.stage harmless);
+      Test.make ~name:"ping-plain-of" (Staged.stage plain);
+    ]
+
+(* ---- substrate costs ---- *)
+
+let wire_tests =
+  let pkt =
+    Netpkt.Packet.pad_to 1518
+      (Netpkt.Packet.udp ~dst:(mac 2) ~src:(mac 1) ~ip_src:(ip "10.0.0.1")
+         ~ip_dst:(ip "10.0.0.2") ~src_port:1 ~dst_port:2 "payload")
+  in
+  let raw = Netpkt.Packet.encode pkt in
+  Test.make_grouped ~name:"wire"
+    [
+      Test.make ~name:"encode-1518" (Staged.stage (fun () -> ignore (Netpkt.Packet.encode pkt)));
+      Test.make ~name:"decode-1518" (Staged.stage (fun () -> ignore (Netpkt.Packet.decode raw)));
+      Test.make ~name:"checksum-1500"
+        (Staged.stage (fun () -> ignore (Netpkt.Checksum.checksum raw)));
+      Test.make ~name:"fields-extract"
+        (Staged.stage (fun () -> ignore (Netpkt.Packet.Fields.of_packet pkt)));
+    ]
+
+let table_tests =
+  let table = Ethswitch.Mac_table.create () in
+  let i = ref 0 in
+  let flow_table = Openflow.Flow_table.create () in
+  for k = 0 to 999 do
+    Openflow.Flow_table.add flow_table ~now_ns:0
+      (Openflow.Flow_entry.make ~priority:(k + 10)
+         ~match_:Openflow.Of_match.(any |> eth_dst (mac (5000 + k)))
+         [ Openflow.Flow_entry.Apply_actions [ Openflow.Of_action.output 1 ] ])
+  done;
+  let fields =
+    Netpkt.Packet.Fields.of_packet
+      (Netpkt.Packet.udp ~dst:(mac 5999) ~src:(mac 1) ~ip_src:(ip "10.0.0.1")
+         ~ip_dst:(ip "10.0.0.2") ~src_port:1 ~dst_port:2 "x")
+  in
+  Test.make_grouped ~name:"table"
+    [
+      Test.make ~name:"mac-learn-lookup"
+        (Staged.stage (fun () ->
+             incr i;
+             let m = mac (!i land 0xfff) in
+             Ethswitch.Mac_table.learn table ~now:Simnet.Sim_time.zero ~vlan:1 ~mac:m
+               ~port:(!i land 7);
+             ignore
+               (Ethswitch.Mac_table.lookup table ~now:Simnet.Sim_time.zero ~vlan:1 ~mac:m)));
+      Test.make ~name:"flow-lookup-1k-worst"
+        (Staged.stage (fun () ->
+             ignore (Openflow.Flow_table.lookup flow_table ~in_port:0 fields)));
+    ]
+
+let mgmt_tests =
+  let engine = Simnet.Engine.create () in
+  let sw = Ethswitch.Legacy_switch.create engine ~name:"bsw" ~ports:48 () in
+  let device = Mgmt.Device.create ~switch:sw ~vendor:Mgmt.Device.Cisco_like () in
+  let agent = Mgmt.Device.snmp device in
+  let text = Mgmt.Device.running_config_text device in
+  Test.make_grouped ~name:"mgmt"
+    [
+      Test.make ~name:"snmp-get"
+        (Staged.stage (fun () ->
+             ignore (Mgmt.Snmp.get agent ~community:"public" Mgmt.Oid.Std.sys_name)));
+      Test.make ~name:"config-render-parse-48p"
+        (Staged.stage (fun () ->
+             match Mgmt.Dialect.Ios.parse text with
+             | Ok _ -> ()
+             | Error e -> failwith e));
+    ]
+
+let cost_tests =
+  Test.make_grouped ~name:"cost"
+    [
+      Test.make ~name:"sweep-8..384"
+        (Staged.stage (fun () ->
+             ignore
+               (Costmodel.Cost.sweep
+                  ~port_counts:[ 8; 16; 24; 48; 96; 144; 192; 384 ])));
+    ]
+
+(* ---- ablation: SS_1+SS_2 split vs one combined switch ----
+
+   The split exists for transparency, not speed: a single switch could
+   fold the VLAN translation into every forwarding rule.  This measures
+   what the split costs per packet (three dataplane passes vs one) and
+   what the combined design pays instead (a rule-set that entangles the
+   VLAN mapping with policy - 2x rules here, O(ports x policy) in
+   general). *)
+
+let ablation_tests =
+  let engine = Simnet.Engine.create () in
+  let map = Harmless.Port_map.make ~access_ports:[ 0; 1; 2; 3 ] () in
+  (* Split: SS_1 (translator) + SS_2 (eth_dst forwarding). *)
+  let ss1 =
+    Softswitch.Soft_switch.create engine ~name:"ab-ss1" ~ports:5
+      ~miss:Softswitch.Soft_switch.Drop_on_miss ()
+  in
+  Harmless.Translator.install ss1 map;
+  let ss2 =
+    Softswitch.Soft_switch.create engine ~name:"ab-ss2" ~ports:4
+      ~miss:Softswitch.Soft_switch.Drop_on_miss ()
+  in
+  for i = 0 to 3 do
+    Softswitch.Soft_switch.handle_message ss2
+      (Openflow.Of_message.Flow_mod
+         (Openflow.Of_message.add_flow
+            ~match_:Openflow.Of_match.(any |> eth_dst (mac (i + 1)))
+            [ Openflow.Flow_entry.Apply_actions [ Openflow.Of_action.output i ] ]))
+  done;
+  (* Combined: one switch, one table entangling vid and dst. *)
+  let combined =
+    Softswitch.Soft_switch.create engine ~name:"ab-comb" ~ports:1
+      ~miss:Softswitch.Soft_switch.Drop_on_miss ()
+  in
+  for src = 0 to 3 do
+    for dst = 0 to 3 do
+      if src <> dst then
+        Softswitch.Soft_switch.handle_message combined
+          (Openflow.Of_message.Flow_mod
+             (Openflow.Of_message.add_flow
+                ~match_:
+                  Openflow.Of_match.(
+                    any |> vid (101 + src) |> eth_dst (mac (dst + 1)))
+                [
+                  Openflow.Flow_entry.Apply_actions
+                    [
+                      Openflow.Of_action.Set_vlan_vid (101 + dst);
+                      Openflow.Of_action.Output Openflow.Of_action.In_port;
+                    ];
+                ]))
+    done
+  done;
+  let tagged =
+    Netpkt.Packet.udp
+      ~vlans:[ Netpkt.Vlan.make 101 ]
+      ~dst:(mac 2) ~src:(mac 1) ~ip_src:(ip "10.0.0.1") ~ip_dst:(ip "10.0.0.2")
+      ~src_port:1 ~dst_port:2 "x"
+  in
+  let untagged = match Netpkt.Packet.pop_vlan tagged with Some (_, p) -> p | None -> tagged in
+  Test.make_grouped ~name:"ablation"
+    [
+      Test.make ~name:"split-3-passes"
+        (Staged.stage (fun () ->
+             ignore (Softswitch.Soft_switch.process_direct ss1 ~now_ns:0 ~in_port:0 tagged);
+             ignore (Softswitch.Soft_switch.process_direct ss2 ~now_ns:0 ~in_port:0 untagged);
+             ignore (Softswitch.Soft_switch.process_direct ss1 ~now_ns:0 ~in_port:2 untagged)));
+      Test.make ~name:"combined-1-pass"
+        (Staged.stage (fun () ->
+             ignore
+               (Softswitch.Soft_switch.process_direct combined ~now_ns:0 ~in_port:0 tagged)));
+    ]
+
+(* ---- wire codec and meters ---- *)
+
+let codec_tests =
+  let fm =
+    Openflow.Of_message.Flow_mod
+      (Openflow.Of_message.add_flow
+         ~match_:
+           Openflow.Of_match.(
+             any |> eth_type 0x0800
+             |> ip_dst (Netpkt.Ipv4_addr.Prefix.of_string "10.0.0.0/24"))
+         [
+           Openflow.Flow_entry.Apply_actions
+             [ Openflow.Of_action.Set_vlan_vid 101; Openflow.Of_action.output 3 ];
+         ])
+  in
+  let frame = Openflow.Of_codec.encode fm in
+  Test.make_grouped ~name:"codec"
+    [
+      Test.make ~name:"encode-flow-mod"
+        (Staged.stage (fun () -> ignore (Openflow.Of_codec.encode fm)));
+      Test.make ~name:"decode-flow-mod"
+        (Staged.stage (fun () -> ignore (Openflow.Of_codec.decode frame)));
+    ]
+
+let meter_tests =
+  let meters = Openflow.Meter_table.create () in
+  Openflow.Meter_table.add meters ~id:1
+    { Openflow.Meter_table.rate_kbps = 1_000_000; burst_kb = 1000 };
+  let clock = ref 0 in
+  Test.make_grouped ~name:"meter"
+    [
+      Test.make ~name:"token-bucket-apply"
+        (Staged.stage (fun () ->
+             clock := !clock + 1000;
+             ignore (Openflow.Meter_table.apply meters ~id:1 ~now_ns:!clock ~bytes:1500)));
+    ]
+
+(* ---- harness ---- *)
+
+let all_tests =
+  [
+    lookup_tests;
+    translator_tests;
+    pmd_tests;
+    e2e_tests;
+    wire_tests;
+    table_tests;
+    mgmt_tests;
+    cost_tests;
+    codec_tests;
+    meter_tests;
+    ablation_tests;
+  ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:(Some 100) () in
+  Printf.printf "%-36s %14s %10s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 62 '-');
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg [ instance ] group in
+      let results = Analyze.all ols instance raw in
+      let rows =
+        Hashtbl.fold
+          (fun name result acc ->
+            let ns =
+              match Analyze.OLS.estimates result with
+              | Some [ slope ] -> slope
+              | Some _ | None -> nan
+            in
+            let r2 = Option.value (Analyze.OLS.r_square result) ~default:nan in
+            (name, ns, r2) :: acc)
+          results []
+        |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, ns, r2) -> Printf.printf "%-36s %14.1f %10.4f\n" name ns r2)
+        rows)
+    all_tests;
+  print_newline ()
+
+let () =
+  print_endline "== Bechamel microbenchmarks ==";
+  run_benchmarks ();
+  print_endline "== Experiment tables (E1-E15) ==";
+  ignore (Experiments_lib.E1_walkthrough.run ());
+  ignore (Experiments_lib.E2_throughput.run ());
+  ignore (Experiments_lib.E3_latency.run ());
+  ignore (Experiments_lib.E4_cost.run ());
+  ignore (Experiments_lib.E5_dataplane.run ());
+  ignore (Experiments_lib.E6_load_balancer.run ());
+  ignore (Experiments_lib.E7_dmz.run ());
+  ignore (Experiments_lib.E8_parental_control.run ());
+  ignore (Experiments_lib.E9_transparency.run ());
+  ignore (Experiments_lib.E10_mgmt.run ());
+  ignore (Experiments_lib.E11_scaleout.run ());
+  ignore (Experiments_lib.E12_rate_limit.run ());
+  ignore (Experiments_lib.E13_failover.run ());
+  ignore (Experiments_lib.E14_tcp.run ());
+  ignore (Experiments_lib.E15_oversubscription.run ())

@@ -1,0 +1,59 @@
+(* Experiment driver: `experiments all` regenerates every table in
+   EXPERIMENTS.md; `experiments e2` runs one of them. *)
+
+let experiments =
+  [
+    ("e1", "Fig. 1 packet walk-through", fun () -> ignore (Experiments_lib.E1_walkthrough.run ()));
+    ("e2", "throughput vs frame size", fun () -> ignore (Experiments_lib.E2_throughput.run ()));
+    ("e3", "one-way latency percentiles", fun () -> ignore (Experiments_lib.E3_latency.run ()));
+    ("e4", "CAPEX per OpenFlow port", fun () -> ignore (Experiments_lib.E4_cost.run ()));
+    ("e5", "dataplane lookup scaling", fun () -> ignore (Experiments_lib.E5_dataplane.run ()));
+    ("e6", "Load Balancer use case", fun () -> ignore (Experiments_lib.E6_load_balancer.run ()));
+    ("e7", "DMZ use case", fun () -> ignore (Experiments_lib.E7_dmz.run ()));
+    ("e8", "Parental Control use case", fun () -> ignore (Experiments_lib.E8_parental_control.run ()));
+    ("e9", "data-plane transparency", fun () -> ignore (Experiments_lib.E9_transparency.run ()));
+    ("e10", "Manager workflow", fun () -> ignore (Experiments_lib.E10_mgmt.run ()));
+    ("e11", "scale-out (multi-switch)", fun () -> ignore (Experiments_lib.E11_scaleout.run ()));
+    ("e12", "meter-based rate limiting", fun () -> ignore (Experiments_lib.E12_rate_limit.run ()));
+    ("e13", "trunk failover recovery", fun () -> ignore (Experiments_lib.E13_failover.run ()));
+    ("e14", "TCP transfer over lossy links", fun () -> ignore (Experiments_lib.E14_tcp.run ()));
+    ("e15", "trunk oversubscription", fun () -> ignore (Experiments_lib.E15_oversubscription.run ()));
+  ]
+
+open Cmdliner
+
+let run_ids csv ids =
+  Experiments_lib.Tables.set_csv_dir csv;
+  let selected =
+    match ids with
+    | [] | [ "all" ] -> experiments
+    | ids ->
+        List.map
+          (fun id ->
+            match List.find_opt (fun (name, _, _) -> name = id) experiments with
+            | Some e -> e
+            | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+          ids
+  in
+  List.iter
+    (fun (id, description, f) ->
+      Printf.printf "\n================================================================\n";
+      Printf.printf "%s - %s\n" id description;
+      Printf.printf "================================================================\n";
+      f ())
+    selected
+
+let ids =
+  let doc = "Experiments to run (e1..e15, or 'all')." in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let csv =
+  let doc = "Also write each table as CSV into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "regenerate the HARMLESS reproduction tables" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const run_ids $ csv $ ids)
+
+let () = exit (Cmd.eval cmd)

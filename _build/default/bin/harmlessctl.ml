@@ -1,0 +1,184 @@
+(* harmlessctl — the operator's view of the library: price a migration,
+   dry-run a provisioning, inspect the generated device configuration.
+
+     dune exec bin/harmlessctl.exe -- cost --ports 48
+     dune exec bin/harmlessctl.exe -- provision --ports 24 --vendor eos
+     dune exec bin/harmlessctl.exe -- config --ports 8 --vendor ios
+     dune exec bin/harmlessctl.exe -- walkthrough *)
+
+open Cmdliner
+
+let vendor_conv =
+  let parse = function
+    | "ios" -> Ok Mgmt.Device.Cisco_like
+    | "eos" -> Ok Mgmt.Device.Arista_like
+    | "junos" -> Ok Mgmt.Device.Juniper_like
+    | s -> Error (`Msg (Printf.sprintf "unknown vendor %S (ios, eos or junos)" s))
+  in
+  let print fmt v =
+    Format.pp_print_string fmt
+      (match v with
+      | Mgmt.Device.Cisco_like -> "ios"
+      | Mgmt.Device.Arista_like -> "eos"
+      | Mgmt.Device.Juniper_like -> "junos")
+  in
+  Arg.conv (parse, print)
+
+let ports_arg =
+  Arg.(value & opt int 24 & info [ "ports" ] ~docv:"N" ~doc:"Access ports to migrate.")
+
+let vendor_arg =
+  Arg.(
+    value
+    & opt vendor_conv Mgmt.Device.Cisco_like
+    & info [ "vendor" ] ~docv:"VENDOR" ~doc:"NOS dialect of the legacy switch (ios|eos|junos).")
+
+let base_vid_arg =
+  Arg.(value & opt int 101 & info [ "base-vid" ] ~docv:"VID" ~doc:"First VLAN id of the mapping.")
+
+(* ---- cost ---- *)
+
+let run_cost ports =
+  Format.printf "Migration options for %d OpenFlow ports:@.@." ports;
+  List.iter
+    (fun bill -> Format.printf "%a@." Costmodel.Scenario.pp_bill bill)
+    (Costmodel.Scenario.all ~ports);
+  Format.printf "HARMLESS (brownfield) saves %.0f%% vs COTS SDN.@."
+    (100.0 *. Costmodel.Cost.savings_vs_cots ~ports)
+
+let cost_cmd =
+  Cmd.v
+    (Cmd.info "cost" ~doc:"price every migration strategy for a port count")
+    Term.(const run_cost $ ports_arg)
+
+(* ---- shared: build a device ---- *)
+
+let build_device ~ports ~vendor =
+  let engine = Simnet.Engine.create () in
+  let switch =
+    Ethswitch.Legacy_switch.create engine ~name:"target-sw" ~ports:(ports + 1) ()
+  in
+  (engine, Mgmt.Device.create ~switch ~vendor ())
+
+(* ---- provision (dry run against a simulated device) ---- *)
+
+let run_provision ports vendor base_vid =
+  let engine, device = build_device ~ports ~vendor in
+  match
+    Harmless.Manager.provision engine ~device ~trunk_port:ports
+      ~access_ports:(List.init ports Fun.id) ~base_vid ()
+  with
+  | Error msg ->
+      Printf.eprintf "provisioning failed: %s\n" msg;
+      exit 1
+  | Ok prov ->
+      print_endline "Provisioning succeeded; the Manager did:";
+      List.iter (Printf.printf "  - %s\n")
+        prov.Harmless.Manager.report.Harmless.Manager.steps;
+      Printf.printf "\nConfig changes applied (%d):\n"
+        (List.length prov.Harmless.Manager.report.Harmless.Manager.config_diff);
+      List.iter (Printf.printf "  %s\n")
+        prov.Harmless.Manager.report.Harmless.Manager.config_diff;
+      Printf.printf "\nResulting running configuration (%s dialect):\n\n"
+        (let (module D) = Mgmt.Device.dialect device in
+         D.name);
+      print_string (Mgmt.Device.running_config_text device)
+
+let provision_cmd =
+  Cmd.v
+    (Cmd.info "provision" ~doc:"dry-run the Manager against a simulated device")
+    Term.(const run_provision $ ports_arg $ vendor_arg $ base_vid_arg)
+
+(* ---- config (print the candidate only) ---- *)
+
+let run_config ports vendor base_vid =
+  let _engine, device = build_device ~ports ~vendor in
+  (* Render what the Manager *would* push, without committing. *)
+  let (module D) = Mgmt.Device.dialect device in
+  let stanzas =
+    List.init (ports + 1) (fun port ->
+        if port < ports then
+          {
+            Mgmt.Device_config.port;
+            mode = Ethswitch.Port_config.Access (base_vid + port);
+            description = Some (Printf.sprintf "HARMLESS access (vlan %d)" (base_vid + port));
+          }
+        else
+          {
+            Mgmt.Device_config.port;
+            mode =
+              Ethswitch.Port_config.Trunk
+                {
+                  native = None;
+                  allowed =
+                    Ethswitch.Port_config.Only (List.init ports (fun i -> base_vid + i));
+                };
+            description = Some "HARMLESS trunk to soft-switch server";
+          })
+  in
+  print_string (D.render (Mgmt.Device_config.make ~hostname:"target-sw" stanzas))
+
+let config_cmd =
+  Cmd.v
+    (Cmd.info "config" ~doc:"print the candidate configuration the Manager would push")
+    Term.(const run_config $ ports_arg $ vendor_arg $ base_vid_arg)
+
+(* ---- pcap: capture the Fig. 1 walk into a file ---- *)
+
+let run_pcap out =
+  let engine = Simnet.Engine.create () in
+  let deployment =
+    match Harmless.Deployment.build_harmless engine ~num_hosts:4 () with
+    | Ok d -> d
+    | Error msg -> failwith msg
+  in
+  let ctrl = Sdnctl.Controller.create engine () in
+  Sdnctl.Controller.add_app ctrl (Sdnctl.L2_learning.create ());
+  ignore
+    (Sdnctl.Controller.attach_switch ctrl
+       (Harmless.Deployment.controller_switch deployment));
+  Simnet.Engine.run engine ~until:(Simnet.Sim_time.of_ns (Simnet.Sim_time.ms 5));
+  let capture = Simnet.Capture.create () in
+  (match deployment.Harmless.Deployment.kind with
+  | Harmless.Deployment.Harmless { legacy; prov; _ } ->
+      Simnet.Capture.attach capture (Ethswitch.Legacy_switch.node legacy);
+      Simnet.Capture.attach capture
+        (Softswitch.Soft_switch.node prov.Harmless.Manager.ss1)
+  | _ -> ());
+  let h0 = Harmless.Deployment.host deployment 0 in
+  Simnet.Host.ping h0
+    ~dst_mac:(Harmless.Deployment.host_mac 1)
+    ~dst_ip:(Harmless.Deployment.host_ip 1)
+    ~seq:1;
+  Simnet.Engine.run engine ~until:(Simnet.Sim_time.of_ns (Simnet.Sim_time.ms 50));
+  Simnet.Capture.save_pcap capture ~path:out;
+  Printf.printf "wrote %s (%d frames; open it in wireshark to see the VLAN tags)\n"
+    out
+    (Simnet.Capture.count capture (fun e -> e.Simnet.Capture.dir = Simnet.Node.Rx))
+
+let pcap_out =
+  Arg.(value & opt string "harmless-fig1.pcap"
+       & info [ "out" ] ~docv:"FILE" ~doc:"Output pcap path.")
+
+let pcap_cmd =
+  Cmd.v
+    (Cmd.info "pcap" ~doc:"capture the Fig. 1 ping into a pcap file")
+    Term.(const run_pcap $ pcap_out)
+
+(* ---- walkthrough ---- *)
+
+let run_walkthrough () =
+  if Experiments_lib.E1_walkthrough.run () then () else exit 1
+
+let walkthrough_cmd =
+  Cmd.v
+    (Cmd.info "walkthrough" ~doc:"replay and verify the Fig. 1 packet walk")
+    Term.(const run_walkthrough $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "harmlessctl" ~version:"1.0"
+       ~doc:"operate the HARMLESS hybrid-SDN reproduction")
+    [ cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/dmz.ml: Engine Harmless Host Ipv4 List Netpkt Packet Printf Sdnctl Sim_time Simnet Udp

@@ -1,0 +1,1 @@
+examples/dns_filtering.ml: Engine Harmless Host List Netpkt Printf Sdnctl Sim_time Simnet

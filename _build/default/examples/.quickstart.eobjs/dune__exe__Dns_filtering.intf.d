@@ -1,0 +1,1 @@
+examples/dns_filtering.mli:

@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Engine Harmless Host Ipv4_addr List Mac_addr Netpkt Printf Rng Sdnctl Sim_time Simnet

@@ -1,0 +1,1 @@
+examples/migration.ml: Array Costmodel Engine Ethswitch Format Harmless Host Legacy_switch Link List Mgmt Printf Sdnctl Sim_time Simnet Softswitch

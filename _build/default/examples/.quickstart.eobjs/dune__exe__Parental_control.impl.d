@@ -1,0 +1,1 @@
+examples/parental_control.ml: Engine Harmless Host List Printf Sdnctl Sim_time Simnet

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Harmless Host Printf Sdnctl Sim_time Simnet

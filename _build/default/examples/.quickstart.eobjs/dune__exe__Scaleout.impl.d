@@ -1,0 +1,1 @@
+examples/scaleout.ml: Array Costmodel Engine Format Harmless Host Printf Sdnctl Sim_time Simnet

@@ -1,0 +1,1 @@
+lib/controller/arp_proxy.ml: Arp Controller Host_tracker Int64 Netpkt Openflow Packet

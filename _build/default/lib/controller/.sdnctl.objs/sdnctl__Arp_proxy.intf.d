@@ -1,0 +1,1 @@
+lib/controller/arp_proxy.mli: Controller Host_tracker

@@ -1,0 +1,1 @@
+lib/controller/channel.ml: Engine Sim_time Simnet Softswitch

@@ -1,0 +1,1 @@
+lib/controller/channel.mli: Openflow Simnet Softswitch

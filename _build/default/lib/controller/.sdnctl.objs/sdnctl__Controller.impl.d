@@ -1,0 +1,1 @@
+lib/controller/controller.ml: Channel Hashtbl Int64 List Netpkt Of_message Openflow Simnet Softswitch

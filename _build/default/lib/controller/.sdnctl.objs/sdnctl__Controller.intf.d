@@ -1,0 +1,1 @@
+lib/controller/controller.mli: Netpkt Openflow Simnet Softswitch

@@ -1,0 +1,1 @@
+lib/controller/dmz.ml: Controller Flow_entry Ipv4_addr List Mac_addr Netpkt Of_action Of_match Of_message Openflow Printf

@@ -1,0 +1,1 @@
+lib/controller/dmz.mli: Controller Netpkt

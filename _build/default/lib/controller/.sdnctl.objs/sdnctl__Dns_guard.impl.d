@@ -1,0 +1,1 @@
+lib/controller/dns_guard.ml: Controller Dns_lite Flow_entry Ipv4 Ipv4_addr List Netpkt Of_action Of_match Of_message Openflow Packet String Udp Wire

@@ -1,0 +1,1 @@
+lib/controller/dns_guard.mli: Controller Netpkt

@@ -1,0 +1,1 @@
+lib/controller/host_tracker.ml: Arp Controller Int64 Ipv4 Ipv4_addr List Mac_addr Netpkt Option Packet

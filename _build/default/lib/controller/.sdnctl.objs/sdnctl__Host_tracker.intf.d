@@ -1,0 +1,1 @@
+lib/controller/host_tracker.mli: Controller Netpkt

@@ -1,0 +1,1 @@
+lib/controller/l2_learning.ml: Controller Flow_entry Hashtbl Int64 List Mac_addr Netpkt Of_action Of_match Of_message Openflow Packet

@@ -1,0 +1,1 @@
+lib/controller/l2_learning.mli: Controller

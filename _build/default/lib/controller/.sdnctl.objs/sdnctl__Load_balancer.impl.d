@@ -1,0 +1,1 @@
+lib/controller/load_balancer.ml: Controller Flow_entry Group_table Ipv4_addr List Mac_addr Netpkt Of_action Of_match Of_message Openflow

@@ -1,0 +1,1 @@
+lib/controller/load_balancer.mli: Controller Netpkt

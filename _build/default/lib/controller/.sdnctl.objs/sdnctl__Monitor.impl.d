@@ -1,0 +1,1 @@
+lib/controller/monitor.ml: Controller Flow_entry Hashtbl Ipv4_addr List Netpkt Of_match Of_message Openflow Option Simnet

@@ -1,0 +1,1 @@
+lib/controller/monitor.mli: Controller Netpkt Simnet

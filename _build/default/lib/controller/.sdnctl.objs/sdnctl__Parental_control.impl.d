@@ -1,0 +1,1 @@
+lib/controller/parental_control.ml: Controller Flow_entry Http_lite Ipv4 Ipv4_addr List Netpkt Of_action Of_match Of_message Openflow Option Packet String Tcp

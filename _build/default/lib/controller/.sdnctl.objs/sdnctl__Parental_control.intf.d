@@ -1,0 +1,1 @@
+lib/controller/parental_control.mli: Controller Netpkt

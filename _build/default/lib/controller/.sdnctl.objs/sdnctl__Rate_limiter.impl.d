@@ -1,0 +1,1 @@
+lib/controller/rate_limiter.ml: Controller Flow_entry Ipv4_addr List Mac_addr Meter_table Netpkt Of_action Of_match Of_message Openflow

@@ -1,0 +1,1 @@
+lib/controller/rate_limiter.mli: Controller Netpkt

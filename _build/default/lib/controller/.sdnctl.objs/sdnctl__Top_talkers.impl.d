@@ -1,0 +1,1 @@
+lib/controller/top_talkers.ml: Controller Hashtbl Int Ipv4 Ipv4_addr List Netpkt Openflow Option Packet

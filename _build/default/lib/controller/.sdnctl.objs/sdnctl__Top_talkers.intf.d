@@ -1,0 +1,1 @@
+lib/controller/top_talkers.mli: Controller Netpkt

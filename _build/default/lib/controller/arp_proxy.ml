@@ -1,0 +1,23 @@
+open Netpkt
+
+let create tracker =
+  let packet_in ctrl dpid ~in_port _reason (pkt : Packet.t) =
+    match pkt.Packet.l3 with
+    | Packet.Arp ({ Arp.op = Arp.Request; _ } as request) -> (
+        match Host_tracker.find_by_ip tracker request.Arp.tpa with
+        | Some entry when Int64.equal entry.Host_tracker.dpid dpid ->
+            (* Forge the reply the target would have sent and hand it
+               straight back out of the asking port. *)
+            let reply = Arp.reply_to request ~sha:entry.Host_tracker.mac in
+            let frame =
+              Packet.make ~dst:request.Arp.sha ~src:entry.Host_tracker.mac
+                (Packet.Arp reply)
+            in
+            Controller.packet_out ctrl dpid
+              ~actions:[ Openflow.Of_action.output in_port ]
+              frame;
+            true (* consumed: the request never floods *)
+        | Some _ | None -> false)
+    | Packet.Arp _ | Packet.Ip _ | Packet.Raw _ -> false
+  in
+  { (Controller.no_op_app "arp-proxy") with Controller.packet_in }

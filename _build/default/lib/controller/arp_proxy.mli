@@ -1,0 +1,12 @@
+(** ARP proxying: the controller answers ARP requests itself from a
+    {!Host_tracker} inventory instead of letting them flood — the classic
+    SDN trick that removes broadcast storms from large L2 domains.
+
+    Requests for unknown addresses are left alone (another app may flood
+    them); once the tracker knows the target, subsequent requests are
+    answered directly with a packet-out to the asking port. *)
+
+val create : Host_tracker.t -> Controller.app
+(** Register {e before} the flooding/forwarding app so known requests are
+    consumed first.  The tracker's own app must also be registered (it
+    feeds the inventory). *)

@@ -1,0 +1,27 @@
+open Simnet
+
+type t = {
+  engine : Engine.t;
+  latency : Sim_time.span;
+  switch : Softswitch.Soft_switch.t;
+  mutable to_switch_count : int;
+  mutable to_controller_count : int;
+}
+
+let connect engine ?(latency = Sim_time.us 200) ~switch ~to_controller () =
+  let t =
+    { engine; latency; switch; to_switch_count = 0; to_controller_count = 0 }
+  in
+  Softswitch.Soft_switch.set_controller switch (fun msg ->
+      t.to_controller_count <- t.to_controller_count + 1;
+      Engine.schedule_after engine latency (fun () -> to_controller msg));
+  t
+
+let to_switch t msg =
+  t.to_switch_count <- t.to_switch_count + 1;
+  Engine.schedule_after t.engine t.latency (fun () ->
+      Softswitch.Soft_switch.handle_message t.switch msg)
+
+let switch t = t.switch
+let sent_to_switch t = t.to_switch_count
+let sent_to_controller t = t.to_controller_count

@@ -1,0 +1,23 @@
+(** The control channel between a switch agent and the controller: both
+    directions are delivered asynchronously after a configurable latency,
+    modelling the management-network TCP connection. *)
+
+type t
+
+val connect :
+  Simnet.Engine.t ->
+  ?latency:Simnet.Sim_time.span ->
+  switch:Softswitch.Soft_switch.t ->
+  to_controller:(Openflow.Of_message.t -> unit) ->
+  unit ->
+  t
+(** Wire the switch's controller callback to [to_controller] (after
+    [latency], default 200 us) and return a handle for the reverse
+    direction. *)
+
+val to_switch : t -> Openflow.Of_message.t -> unit
+(** Deliver a controller→switch message after the channel latency. *)
+
+val switch : t -> Softswitch.Soft_switch.t
+val sent_to_switch : t -> int
+val sent_to_controller : t -> int

@@ -1,0 +1,109 @@
+open Openflow
+
+type t = {
+  engine : Simnet.Engine.t;
+  channel_latency : Simnet.Sim_time.span option;
+  mutable apps : app list;
+  switches : (int64, Channel.t) Hashtbl.t;
+  mutable packet_ins : int;
+  mutable errors : string list; (* newest first *)
+  mutable stats_waiters : (int64 * (Of_message.flow_stat list -> unit)) list;
+}
+
+and app = {
+  app_name : string;
+  switch_up : t -> int64 -> unit;
+  packet_in :
+    t -> int64 -> in_port:int -> Of_message.packet_in_reason ->
+    Netpkt.Packet.t -> bool;
+  port_status : t -> int64 -> port:int -> up:bool -> unit;
+}
+
+let no_op_app name =
+  {
+    app_name = name;
+    switch_up = (fun _ _ -> ());
+    packet_in = (fun _ _ ~in_port:_ _ _ -> false);
+    port_status = (fun _ _ ~port:_ ~up:_ -> ());
+  }
+
+let create engine ?channel_latency () =
+  {
+    engine;
+    channel_latency;
+    apps = [];
+    switches = Hashtbl.create 8;
+    packet_ins = 0;
+    errors = [];
+    stats_waiters = [];
+  }
+
+let add_app t app = t.apps <- t.apps @ [ app ]
+
+let channel t dpid =
+  match Hashtbl.find_opt t.switches dpid with
+  | Some ch -> ch
+  | None -> raise Not_found
+
+let send t dpid msg = Channel.to_switch (channel t dpid) msg
+
+let install t dpid fm = send t dpid (Of_message.Flow_mod fm)
+
+let packet_out t dpid ?in_port ~actions packet =
+  send t dpid (Of_message.Packet_out { in_port; actions; packet })
+
+let dispatch_packet_in t dpid ~in_port reason packet =
+  t.packet_ins <- t.packet_ins + 1;
+  let rec offer = function
+    | [] -> ()
+    | app :: rest ->
+        if not (app.packet_in t dpid ~in_port reason packet) then offer rest
+  in
+  offer t.apps
+
+let handle_switch_message t dpid msg =
+  match msg with
+  | Of_message.Features_reply _ ->
+      List.iter (fun app -> app.switch_up t dpid) t.apps
+  | Of_message.Packet_in { in_port; reason; packet } ->
+      dispatch_packet_in t dpid ~in_port reason packet
+  | Of_message.Port_status { port_no; up } ->
+      List.iter (fun app -> app.port_status t dpid ~port:port_no ~up) t.apps
+  | Of_message.Error e -> t.errors <- e :: t.errors
+  | Of_message.Flow_stats_reply stats ->
+      let mine, rest = List.partition (fun (d, _) -> Int64.equal d dpid) t.stats_waiters in
+      (match mine with
+      | (_, k) :: remaining ->
+          t.stats_waiters <- List.map (fun w -> w) remaining @ rest;
+          k stats
+      | [] -> ())
+  | Of_message.Hello | Of_message.Echo_reply _ | Of_message.Barrier_reply _
+  | Of_message.Port_stats_reply _ -> ()
+  | Of_message.Echo_request payload -> send t dpid (Of_message.Echo_reply payload)
+  | Of_message.Features_request | Of_message.Flow_mod _ | Of_message.Group_mod _
+  | Of_message.Meter_mod _
+  | Of_message.Packet_out _ | Of_message.Flow_stats_request _
+  | Of_message.Port_stats_request | Of_message.Barrier_request _ ->
+      (* switch-bound messages never arrive here *)
+      ()
+
+let attach_switch t switch =
+  let dpid = Softswitch.Soft_switch.datapath_id switch in
+  let to_controller msg = handle_switch_message t dpid msg in
+  let ch =
+    match t.channel_latency with
+    | Some latency -> Channel.connect t.engine ~latency ~switch ~to_controller ()
+    | None -> Channel.connect t.engine ~switch ~to_controller ()
+  in
+  Hashtbl.replace t.switches dpid ch;
+  Channel.to_switch ch Of_message.Hello;
+  Channel.to_switch ch Of_message.Features_request;
+  dpid
+
+let switch_ids t = Hashtbl.fold (fun dpid _ acc -> dpid :: acc) t.switches []
+let packet_ins_received t = t.packet_ins
+let errors_received t = List.rev t.errors
+
+let flow_stats t dpid ~on_reply =
+  t.stats_waiters <- t.stats_waiters @ [ (dpid, on_reply) ];
+  send t dpid (Of_message.Flow_stats_request { table_id = None })

@@ -1,0 +1,56 @@
+(** The SDN controller: owns control channels to any number of switches
+    and dispatches events to registered applications.
+
+    Applications are chained: a packet-in is offered to each app in
+    registration order until one returns [true] (consumed).  Apps install
+    state through the controller's send/install API, never by touching
+    switches directly, so everything they do crosses the (latency-bearing)
+    control channel — exactly the constraint a real controller works
+    under. *)
+
+type t
+
+(** What an application can do and see. *)
+type app = {
+  app_name : string;
+  switch_up : t -> int64 -> unit;
+      (** called once the switch's features reply arrives *)
+  packet_in :
+    t -> int64 -> in_port:int -> Openflow.Of_message.packet_in_reason ->
+    Netpkt.Packet.t -> bool;
+      (** [true] = consumed, stop the chain *)
+  port_status : t -> int64 -> port:int -> up:bool -> unit;
+      (** a switch port's carrier changed (all apps see every event) *)
+}
+
+val no_op_app : string -> app
+(** An app that handles nothing — a base to extend with [{ ... with }]. *)
+
+val create : Simnet.Engine.t -> ?channel_latency:Simnet.Sim_time.span -> unit -> t
+
+val add_app : t -> app -> unit
+(** Apps see switches that connect after registration; register apps
+    first. *)
+
+val attach_switch : t -> Softswitch.Soft_switch.t -> int64
+(** Connect a switch: opens a channel, performs the hello /
+    features-request handshake (asynchronously) and returns the datapath
+    id.  [switch_up] callbacks fire when the handshake completes — run the
+    engine. *)
+
+val send : t -> int64 -> Openflow.Of_message.t -> unit
+(** @raise Not_found for an unknown datapath. *)
+
+val install : t -> int64 -> Openflow.Of_message.flow_mod -> unit
+val packet_out :
+  t -> int64 -> ?in_port:int -> actions:Openflow.Of_action.t list ->
+  Netpkt.Packet.t -> unit
+
+val switch_ids : t -> int64 list
+val packet_ins_received : t -> int
+val errors_received : t -> string list
+(** Error messages from switches, oldest first. *)
+
+val flow_stats :
+  t -> int64 -> on_reply:(Openflow.Of_message.flow_stat list -> unit) -> unit
+(** Issue a stats request; [on_reply] fires when the reply arrives. *)

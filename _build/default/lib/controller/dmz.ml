@@ -1,0 +1,62 @@
+open Netpkt
+open Openflow
+
+type vm = { vm_ip : Ipv4_addr.t; vm_mac : Mac_addr.t; vm_port : int }
+
+type policy = {
+  vms : vm list;
+  allowed : (Ipv4_addr.t * Ipv4_addr.t) list;
+}
+
+let allows policy a b =
+  List.exists
+    (fun (x, y) ->
+      (Ipv4_addr.equal x a && Ipv4_addr.equal y b)
+      || (Ipv4_addr.equal x b && Ipv4_addr.equal y a))
+    policy.allowed
+
+let vm_for policy ip =
+  match List.find_opt (fun vm -> Ipv4_addr.equal vm.vm_ip ip) policy.vms with
+  | Some vm -> vm
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Dmz: allowed pair names unknown VM %s"
+           (Ipv4_addr.to_string ip))
+
+let create policy ?(priority = 2000) () =
+  (* Validate eagerly so misconfigurations fail at construction. *)
+  List.iter
+    (fun (a, b) ->
+      ignore (vm_for policy a);
+      ignore (vm_for policy b))
+    policy.allowed;
+  let switch_up ctrl dpid =
+    let pair_rule src dst =
+      Controller.install ctrl dpid
+        (Of_message.add_flow ~priority
+           ~match_:
+             Of_match.(
+               any
+               |> eth_type 0x0800
+               |> ip_src (Ipv4_addr.Prefix.make src.vm_ip 32)
+               |> ip_dst (Ipv4_addr.Prefix.make dst.vm_ip 32))
+           [ Flow_entry.Apply_actions [ Of_action.output dst.vm_port ] ])
+    in
+    List.iter
+      (fun (a, b) ->
+        let va = vm_for policy a and vb = vm_for policy b in
+        pair_rule va vb;
+        pair_rule vb va)
+      policy.allowed;
+    (* ARP must flow for resolution. *)
+    Controller.install ctrl dpid
+      (Of_message.add_flow ~priority:(priority - 200)
+         ~match_:Of_match.(any |> eth_type 0x0806)
+         [ Flow_entry.Apply_actions [ Of_action.Output Of_action.Flood ] ]);
+    (* Default-deny fence for IP. *)
+    Controller.install ctrl dpid
+      (Of_message.add_flow ~priority:(priority - 400)
+         ~match_:Of_match.(any |> eth_type 0x0800)
+         [ Flow_entry.Apply_actions [ Of_action.Drop ] ])
+  in
+  { (Controller.no_op_app "dmz") with Controller.switch_up }

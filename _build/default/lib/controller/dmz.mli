@@ -1,0 +1,30 @@
+(** Use case (b) of the paper: DMZ-style VM-level access policies in a
+    multi-tenant cloud.  The controller knows where each VM sits (IP,
+    MAC, switch port) and an allow-list of VM pairs; everything is
+    installed proactively:
+
+    - each allowed (a, b) pair gets forward rules in both directions;
+    - ARP floods (hosts must resolve each other);
+    - all remaining IP traffic is dropped at a priority between the pair
+      rules and any L2 base app, so policy wins over learning. *)
+
+type vm = {
+  vm_ip : Netpkt.Ipv4_addr.t;
+  vm_mac : Netpkt.Mac_addr.t;
+  vm_port : int;
+}
+
+type policy = {
+  vms : vm list;
+  allowed : (Netpkt.Ipv4_addr.t * Netpkt.Ipv4_addr.t) list;
+      (** unordered pairs; traffic is allowed both ways *)
+}
+
+val create : policy -> ?priority:int -> unit -> Controller.app
+(** Pair rules at [priority] (default 2000), ARP flood at [priority - 200],
+    the IP drop fence at [priority - 400].
+    @raise Invalid_argument if an allowed pair names an unknown VM. *)
+
+val allows : policy -> Netpkt.Ipv4_addr.t -> Netpkt.Ipv4_addr.t -> bool
+(** Whether the policy permits traffic between two addresses (symmetric;
+    used by tests as the ground truth). *)

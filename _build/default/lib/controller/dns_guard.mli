@@ -1,0 +1,27 @@
+(** DNS-aware blocking: Parental Control without a static site→address
+    table.  The controller steers a copy of every DNS response to itself
+    (the dataplane still delivers the original), learns name→address
+    bindings from the answers, and the moment a {e blocked} name resolves
+    it pins a drop rule for (user, resolved address) — before the user's
+    browser has even opened the connection.
+
+    Composes like {!Rate_limiter}: accounting in table 0, forwarding
+    expected in table 1 (use {!Rate_limiter.table1_l2} or similar). *)
+
+type t
+
+val create :
+  blocked:(Netpkt.Ipv4_addr.t * string) list ->
+  ?priority:int ->
+  unit ->
+  t
+(** [blocked] pairs a user address with a forbidden hostname.  Default
+    priority 2500 for the snoop rule; drops go in at [priority + 100]. *)
+
+val app : t -> Controller.app
+
+val bindings : t -> (string * Netpkt.Ipv4_addr.t) list
+(** Every name→address binding snooped so far, oldest first. *)
+
+val blocks_installed : t -> int
+(** Drop rules pinned as a result of snooped resolutions. *)

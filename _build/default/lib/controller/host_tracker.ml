@@ -1,0 +1,63 @@
+open Netpkt
+
+type entry = {
+  mac : Mac_addr.t;
+  ip : Ipv4_addr.t option;
+  port : int;
+  dpid : int64;
+}
+
+type t = {
+  mutable entries : entry list; (* most recent first *)
+  mutable moves : int;
+}
+
+let create () = { entries = []; moves = 0 }
+
+let hosts t = t.entries
+
+let find_by_mac t mac =
+  List.find_opt (fun e -> Mac_addr.equal e.mac mac) t.entries
+
+let find_by_ip t ip =
+  List.find_opt
+    (fun e -> match e.ip with Some i -> Ipv4_addr.equal i ip | None -> false)
+    t.entries
+
+let moves_detected t = t.moves
+
+let note t ~dpid ~port ~mac ~ip =
+  if Mac_addr.is_unicast mac then begin
+    (match find_by_mac t mac with
+    | Some old when old.port <> port || not (Int64.equal old.dpid dpid) ->
+        t.moves <- t.moves + 1
+    | Some _ | None -> ());
+    let ip =
+      match ip with
+      | Some _ -> ip
+      | None -> Option.bind (find_by_mac t mac) (fun e -> e.ip)
+    in
+    t.entries <-
+      { mac; ip; port; dpid }
+      :: List.filter (fun e -> not (Mac_addr.equal e.mac mac)) t.entries
+  end
+
+let app t =
+  let packet_in _ctrl dpid ~in_port _reason (pkt : Packet.t) =
+    let ip =
+      match pkt.Packet.l3 with
+      | Packet.Ip hdr -> Some hdr.Ipv4.src
+      | Packet.Arp arp -> Some arp.Arp.spa
+      | Packet.Raw _ -> None
+    in
+    note t ~dpid ~port:in_port ~mac:pkt.Packet.src ~ip;
+    false (* purely passive: let the forwarding apps handle the packet *)
+  in
+  let port_status _ctrl dpid ~port ~up =
+    if not up then
+      t.entries <-
+        List.filter
+          (fun e -> not (Int64.equal e.dpid dpid && e.port = port))
+          t.entries
+  in
+  { (Controller.no_op_app "host-tracker") with Controller.packet_in; port_status }

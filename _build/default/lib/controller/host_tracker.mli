@@ -1,0 +1,29 @@
+(** Passive host inventory: learn which MAC/IP lives behind which switch
+    port by watching packet-ins (it composes under a reactive L2 app,
+    whose packet-ins it observes without consuming).  Port-down events
+    evict the hosts behind the port.
+
+    This is the controller-side "where is everything" database other
+    apps and operators consult — the SDN replacement for walking MAC
+    tables switch by switch. *)
+
+type entry = {
+  mac : Netpkt.Mac_addr.t;
+  ip : Netpkt.Ipv4_addr.t option;  (** latest source IP seen, if any *)
+  port : int;
+  dpid : int64;
+}
+
+type t
+
+val create : unit -> t
+val app : t -> Controller.app
+
+val hosts : t -> entry list
+(** Current inventory, most recently seen first. *)
+
+val find_by_ip : t -> Netpkt.Ipv4_addr.t -> entry option
+val find_by_mac : t -> Netpkt.Mac_addr.t -> entry option
+val moves_detected : t -> int
+(** Times a known MAC showed up on a different port (VM migration,
+    cable moves — or spoofing). *)

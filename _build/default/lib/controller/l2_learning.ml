@@ -1,0 +1,41 @@
+open Netpkt
+open Openflow
+
+let create ?(priority = 1000) ?(idle_timeout_s = 300) () =
+  (* (dpid, mac) -> port *)
+  let table : (int64 * Mac_addr.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let packet_in ctrl dpid ~in_port _reason (pkt : Packet.t) =
+    Hashtbl.replace table (dpid, pkt.Packet.src) in_port;
+    (if Mac_addr.is_unicast pkt.Packet.dst then
+       match Hashtbl.find_opt table (dpid, pkt.Packet.dst) with
+       | Some out_port ->
+           Controller.install ctrl dpid
+             (Of_message.add_flow ~priority ~idle_timeout_s
+                ~match_:Of_match.(any |> eth_dst pkt.Packet.dst)
+                [ Flow_entry.Apply_actions [ Of_action.output out_port ] ]);
+           Controller.packet_out ctrl dpid ~in_port
+             ~actions:[ Of_action.output out_port ] pkt
+       | None ->
+           Controller.packet_out ctrl dpid ~in_port
+             ~actions:[ Of_action.Output Of_action.Flood ] pkt
+     else
+       Controller.packet_out ctrl dpid ~in_port
+         ~actions:[ Of_action.Output Of_action.Flood ] pkt);
+    true
+  in
+  let port_status ctrl dpid ~port ~up =
+    if not up then begin
+      (* Forget everything learned behind the dead port and withdraw the
+         flows that output to it; affected destinations re-flood. *)
+      let doomed =
+        Hashtbl.fold
+          (fun (d, mac) p acc ->
+            if Int64.equal d dpid && p = port then (d, mac) :: acc else acc)
+          table []
+      in
+      List.iter (Hashtbl.remove table) doomed;
+      Controller.install ctrl dpid
+        (Of_message.delete_flow ~out_port:port Of_match.any)
+    end
+  in
+  { (Controller.no_op_app "l2-learning") with Controller.packet_in; port_status }

@@ -1,0 +1,9 @@
+(** The classic reactive L2-learning controller application: learn source
+    MAC → port from packet-ins, install an exact destination-MAC flow once
+    the destination is known, flood otherwise.  Serves as the base
+    forwarding layer under the use-case apps. *)
+
+val create : ?priority:int -> ?idle_timeout_s:int -> unit -> Controller.app
+(** Defaults: priority 1000, 300 s idle timeout on installed flows.
+    Reacts to port-down events by flushing the addresses learned behind
+    the port and withdrawing the flows that output to it. *)

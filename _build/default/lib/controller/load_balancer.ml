@@ -1,0 +1,61 @@
+open Netpkt
+open Openflow
+
+type backend = {
+  backend_mac : Mac_addr.t;
+  backend_ip : Ipv4_addr.t;
+  backend_port : int;
+}
+
+let create ~vip_ip ~vip_mac ~ingress_port ~backends ?(group_id = 1)
+    ?(priority = 2000) () =
+  if backends = [] then invalid_arg "Load_balancer.create: no backends";
+  let switch_up ctrl dpid =
+    let buckets =
+      List.map
+        (fun b ->
+          {
+            Group_table.weight = 1;
+            actions =
+              [
+                Of_action.Set_eth_dst b.backend_mac;
+                Of_action.Set_ip_dst b.backend_ip;
+                Of_action.output b.backend_port;
+              ];
+          })
+        backends
+    in
+    Controller.send ctrl dpid
+      (Of_message.Group_mod
+         (Of_message.Add_group { id = group_id; gtype = Group_table.Select; buckets }));
+    (* VIP-bound traffic -> the select group. *)
+    Controller.install ctrl dpid
+      (Of_message.add_flow ~priority
+         ~match_:
+           Of_match.(
+             any
+             |> eth_type 0x0800
+             |> ip_dst (Ipv4_addr.Prefix.make vip_ip 32))
+         [ Flow_entry.Apply_actions [ Of_action.Group group_id ] ]);
+    (* Return traffic: un-rewrite and send to the ingress side. *)
+    List.iter
+      (fun b ->
+        Controller.install ctrl dpid
+          (Of_message.add_flow ~priority
+             ~match_:
+               Of_match.(
+                 any
+                 |> eth_type 0x0800
+                 |> ip_src (Ipv4_addr.Prefix.make b.backend_ip 32)
+                 |> in_port b.backend_port)
+             [
+               Flow_entry.Apply_actions
+                 [
+                   Of_action.Set_eth_src vip_mac;
+                   Of_action.Set_ip_src vip_ip;
+                   Of_action.output ingress_port;
+                 ];
+             ]))
+      backends
+  in
+  { (Controller.no_op_app "load-balancer") with Controller.switch_up }

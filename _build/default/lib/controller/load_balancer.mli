@@ -1,0 +1,24 @@
+(** Use case (a) of the paper: an in-network load balancer.  Ingress web
+    traffic addressed to a virtual IP is spread over backends by flow
+    hash (an OpenFlow [Select] group, so a flow's packets stick to one
+    backend — the "matching of the source IP address" behaviour of the
+    demo), with destination MAC/IP rewritten per backend; return traffic
+    is rewritten back to the VIP and sent to the ingress port. *)
+
+type backend = {
+  backend_mac : Netpkt.Mac_addr.t;
+  backend_ip : Netpkt.Ipv4_addr.t;
+  backend_port : int;  (** switch port the backend is reached through *)
+}
+
+val create :
+  vip_ip:Netpkt.Ipv4_addr.t ->
+  vip_mac:Netpkt.Mac_addr.t ->
+  ingress_port:int ->
+  backends:backend list ->
+  ?group_id:int ->
+  ?priority:int ->
+  unit ->
+  Controller.app
+(** Installs everything proactively on switch-up.  Defaults: group 1,
+    priority 2000 (above the L2 base app). *)

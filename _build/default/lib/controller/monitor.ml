@@ -1,0 +1,83 @@
+open Netpkt
+open Openflow
+
+type t = {
+  pairs : (Ipv4_addr.t * Ipv4_addr.t) list;
+  table : int;
+  forward_table : int;
+  priority : int;
+  mutable dpids : int64 list;
+  counters : (Ipv4_addr.t * Ipv4_addr.t, int * int) Hashtbl.t;
+  mutable polls : int;
+}
+
+let create ~pairs ?(table = 0) ?(forward_table = 1) ?(priority = 3000) () =
+  {
+    pairs;
+    table;
+    forward_table;
+    priority;
+    dpids = [];
+    counters = Hashtbl.create 16;
+    polls = 0;
+  }
+
+let pair_match (src, dst) =
+  Of_match.(
+    any
+    |> eth_type 0x0800
+    |> ip_src (Ipv4_addr.Prefix.make src 32)
+    |> ip_dst (Ipv4_addr.Prefix.make dst 32))
+
+let app t =
+  let switch_up ctrl dpid =
+    t.dpids <- dpid :: t.dpids;
+    List.iter
+      (fun pair ->
+        Controller.install ctrl dpid
+          (Of_message.add_flow ~table_id:t.table ~priority:t.priority
+             ~match_:(pair_match pair)
+             [ Flow_entry.Goto_table t.forward_table ]))
+      t.pairs;
+    (* everything untracked also continues to the forwarding table *)
+    Controller.install ctrl dpid
+      (Of_message.add_flow ~table_id:t.table ~priority:1 ~match_:Of_match.any
+         [ Flow_entry.Goto_table t.forward_table ])
+  in
+  { (Controller.no_op_app "monitor") with Controller.switch_up }
+
+let absorb t stats =
+  List.iter
+    (fun pair ->
+      let m = pair_match pair in
+      match
+        List.find_opt
+          (fun (s : Of_message.flow_stat) ->
+            s.Of_message.stat_table_id = t.table
+            && Of_match.equal s.Of_message.stat_match m)
+          stats
+      with
+      | Some s ->
+          Hashtbl.replace t.counters pair
+            (s.Of_message.stat_packets, s.Of_message.stat_bytes)
+      | None -> ())
+    t.pairs;
+  t.polls <- t.polls + 1
+
+let poll t ctrl =
+  List.iter
+    (fun dpid -> Controller.flow_stats ctrl dpid ~on_reply:(fun stats -> absorb t stats))
+    t.dpids
+
+let start_polling t ctrl engine ~period ~rounds =
+  for i = 1 to rounds do
+    Simnet.Engine.schedule_after engine (i * period) (fun () -> poll t ctrl)
+  done
+
+let matrix t =
+  List.map
+    (fun pair ->
+      (pair, Option.value (Hashtbl.find_opt t.counters pair) ~default:(0, 0)))
+    t.pairs
+
+let polls_completed t = t.polls

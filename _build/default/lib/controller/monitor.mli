@@ -1,0 +1,37 @@
+(** Passive network monitoring from flow statistics — the visibility
+    story of SDN: the controller polls flow counters and derives a
+    source→destination traffic matrix, no mirror ports or probe
+    appliances required.
+
+    The app piggybacks on whatever forwarding rules exist: it installs
+    its own zero-effect accounting rules (high-priority per-(src,dst)
+    pair matches whose action continues to the forwarding table via
+    [Goto_table]), then polls their counters. *)
+
+type t
+
+val create :
+  pairs:(Netpkt.Ipv4_addr.t * Netpkt.Ipv4_addr.t) list ->
+  ?table:int ->
+  ?forward_table:int ->
+  ?priority:int ->
+  unit ->
+  t
+(** Track the given ordered (src, dst) pairs.  Accounting rules go in
+    [table] (default 0) and hand off to [forward_table] (default 1), so
+    combine with a forwarding app that populates table 1 (e.g.
+    {!Rate_limiter.table1_l2}). *)
+
+val app : t -> Controller.app
+
+val poll : t -> Controller.t -> unit
+(** Issue a flow-stats request; the matrix updates when the reply
+    arrives (run the engine). *)
+
+val start_polling : t -> Controller.t -> Simnet.Engine.t -> period:Simnet.Sim_time.span -> rounds:int -> unit
+(** Schedule [rounds] polls, [period] apart. *)
+
+val matrix : t -> ((Netpkt.Ipv4_addr.t * Netpkt.Ipv4_addr.t) * (int * int)) list
+(** Latest (packets, bytes) per tracked pair, in the order given. *)
+
+val polls_completed : t -> int

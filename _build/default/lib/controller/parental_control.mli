@@ -1,0 +1,39 @@
+(** Use case (c) of the paper: per-user web-page blocking, changeable
+    on-the-fly.
+
+    Two enforcement paths:
+    - {b proactive}: when the blocked site's address is known (it appears
+      in [sites]), a drop rule for (user, site, TCP/80) is installed;
+    - {b reactive}: otherwise the user's HTTP traffic is steered to the
+      controller, which sniffs the [Host] header of each GET; blocked
+      requests are dropped (and an exact drop rule installed), allowed
+      ones are forwarded on.
+
+    {!block} and {!unblock} update a running deployment — the "deny access
+    on-the-fly" part of the demo. *)
+
+type t
+(** The app's mutable control handle. *)
+
+val create :
+  ?sites:(string * Netpkt.Ipv4_addr.t) list ->
+  blocked:(Netpkt.Ipv4_addr.t * string) list ->
+  ?priority:int ->
+  unit ->
+  t
+(** [sites] maps hostnames to server addresses (the controller's "DNS").
+    [blocked] is the initial (user-IP, hostname) deny list.  Default
+    priority 2200. *)
+
+val app : t -> Controller.app
+
+val block : t -> Controller.t -> user:Netpkt.Ipv4_addr.t -> host:string -> unit
+(** Add a deny entry and install it on every connected switch. *)
+
+val unblock : t -> Controller.t -> user:Netpkt.Ipv4_addr.t -> host:string -> unit
+(** Remove the entry and the switch rules enforcing it. *)
+
+val is_blocked : t -> user:Netpkt.Ipv4_addr.t -> host:string -> bool
+val blocked_list : t -> (Netpkt.Ipv4_addr.t * string) list
+val sniffed_drops : t -> int
+(** Requests dropped via the reactive (Host-sniffing) path. *)

@@ -1,0 +1,55 @@
+open Netpkt
+open Openflow
+
+type limit = {
+  subject : Ipv4_addr.t;
+  rate_kbps : int;
+  burst_kb : int;
+}
+
+let create ~limits ?(priority = 2000) () =
+  let switch_up ctrl dpid =
+    List.iteri
+      (fun i limit ->
+        let meter_id = i + 1 in
+        Controller.send ctrl dpid
+          (Of_message.Meter_mod
+             (Of_message.Add_meter
+                {
+                  id = meter_id;
+                  band =
+                    {
+                      Meter_table.rate_kbps = limit.rate_kbps;
+                      burst_kb = limit.burst_kb;
+                    };
+                }));
+        Controller.install ctrl dpid
+          (Of_message.add_flow ~priority
+             ~match_:
+               Of_match.(
+                 any
+                 |> eth_type 0x0800
+                 |> ip_src (Ipv4_addr.Prefix.make limit.subject 32))
+             [ Flow_entry.Meter meter_id; Flow_entry.Goto_table 1 ]))
+      limits;
+    (* Everything else skips the meters. *)
+    Controller.install ctrl dpid
+      (Of_message.add_flow ~priority:1 ~match_:Of_match.any
+         [ Flow_entry.Goto_table 1 ])
+  in
+  { (Controller.no_op_app "rate-limiter") with Controller.switch_up }
+
+let table1_l2 ~num_hosts =
+  let switch_up ctrl dpid =
+    for i = 0 to num_hosts - 1 do
+      Controller.install ctrl dpid
+        (Of_message.add_flow ~table_id:1 ~priority:1000
+           ~match_:Of_match.(any |> eth_dst (Mac_addr.make_local (i + 1)))
+           [ Flow_entry.Apply_actions [ Of_action.output i ] ])
+    done;
+    Controller.install ctrl dpid
+      (Of_message.add_flow ~table_id:1 ~priority:900
+         ~match_:Of_match.(any |> eth_type 0x0806)
+         [ Flow_entry.Apply_actions [ Of_action.Output Of_action.Flood ] ])
+  in
+  { (Controller.no_op_app "table1-l2") with Controller.switch_up }

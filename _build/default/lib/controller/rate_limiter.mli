@@ -1,0 +1,25 @@
+(** A bandwidth-policing application — one more "standalone hardware
+    appliance" (a traffic policer) the paper's demo argues HARMLESS can
+    absorb into the network.
+
+    Each policy entry caps one source host's IP traffic with an OpenFlow
+    meter; limited traffic continues through the rest of the pipeline via
+    [Goto_table 1], so this app composes with a forwarding app installed
+    in table 1 (see {!table1_l2}). *)
+
+type limit = {
+  subject : Netpkt.Ipv4_addr.t;  (** source host to police *)
+  rate_kbps : int;
+  burst_kb : int;
+}
+
+val create : limits:limit list -> ?priority:int -> unit -> Controller.app
+(** Installs one meter and one table-0 flow per limit on switch-up, plus
+    a table-0 default that forwards everything (unmetered) to table 1.
+    Meter ids are assigned [1, 2, ...] in list order.  Default priority
+    2000. *)
+
+val table1_l2 : num_hosts:int -> Controller.app
+(** A proactive destination-MAC forwarding app for {e table 1}, matching
+    the {!Harmless.Deployment} host conventions — the forwarding layer
+    under the policer. *)

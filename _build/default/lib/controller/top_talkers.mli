@@ -1,0 +1,18 @@
+(** Top-talkers from sampled packets: pair with
+    {!Softswitch.Soft_switch.set_sampling} and the app turns the sampled
+    packet-ins into a per-source traffic ranking — the sFlow-collector
+    replacement among the in-network use cases. *)
+
+type t
+
+val create : unit -> t
+val app : t -> Controller.app
+
+val samples : t -> int
+(** Total sampled packets absorbed. *)
+
+val ranking : t -> (Netpkt.Ipv4_addr.t * int) list
+(** Source addresses by sample count, descending. *)
+
+val estimated_share : t -> Netpkt.Ipv4_addr.t -> float
+(** Fraction of sampled traffic attributed to one source, in [0, 1]. *)

@@ -1,0 +1,1 @@
+lib/core/harmless.ml: Deployment Failover Manager Port_map Scaleout Translator Transparency

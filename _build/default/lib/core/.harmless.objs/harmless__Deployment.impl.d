@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Array Device Engine Ethswitch Fun Host Ipv4_addr Legacy_switch Link List Mac_addr Manager Mgmt Netpkt Printf Scaleout Simnet Soft_switch Softswitch Translator

@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Ethswitch Manager Mgmt Netpkt Scaleout Simnet Softswitch

@@ -1,0 +1,1 @@
+lib/core/failover.ml: Engine List Manager Mgmt Node Patch_port Port_map Simnet Soft_switch Softswitch Translator

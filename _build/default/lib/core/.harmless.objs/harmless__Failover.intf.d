@@ -1,0 +1,1 @@
+lib/core/failover.mli: Mgmt Port_map Simnet Softswitch

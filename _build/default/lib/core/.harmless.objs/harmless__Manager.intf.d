@@ -1,0 +1,1 @@
+lib/core/manager.mli: Mgmt Port_map Simnet Softswitch

@@ -1,0 +1,1 @@
+lib/core/port_map.ml: Array Format Int List Option

@@ -1,0 +1,1 @@
+lib/core/scaleout.ml: Array List Manager Mgmt Option Patch_port Port_map Simnet Soft_switch Softswitch Translator

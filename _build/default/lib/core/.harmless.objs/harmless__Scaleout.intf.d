@@ -1,0 +1,1 @@
+lib/core/scaleout.mli: Manager Mgmt Port_map Simnet Softswitch

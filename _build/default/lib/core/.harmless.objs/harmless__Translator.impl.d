@@ -1,0 +1,1 @@
+lib/core/translator.ml: Flow_entry Fun List Of_action Of_match Of_message Openflow Port_map Softswitch

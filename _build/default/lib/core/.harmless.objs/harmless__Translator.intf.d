@@ -1,0 +1,1 @@
+lib/core/translator.mli: Openflow Port_map Softswitch

@@ -1,0 +1,1 @@
+lib/core/transparency.ml: Array Deployment Engine Host List Netpkt Printf Sdnctl Sim_time Simnet String

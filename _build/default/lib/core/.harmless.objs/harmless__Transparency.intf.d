@@ -1,0 +1,1 @@
+lib/core/transparency.mli: Deployment Sdnctl Simnet

@@ -1,0 +1,97 @@
+open Simnet
+open Softswitch
+
+let patch_base = 2
+
+type t = {
+  engine : Engine.t;
+  device : Mgmt.Device.t;
+  primary_trunk : int;
+  backup_trunk : int;
+  ss1 : Soft_switch.t;
+  ss2 : Soft_switch.t;
+  map : Port_map.t;
+  mutable active : [ `Primary | `Backup ];
+  mutable failovers : int;
+}
+
+let ss1 t = t.ss1
+let ss2 t = t.ss2
+let port_map t = t.map
+let active t = t.active
+let failovers t = t.failovers
+
+let provision engine ~device ~primary_trunk ~backup_trunk ~access_ports
+    ?base_vid ?(dataplane = Soft_switch.Eswitch) ?pmd () =
+  if primary_trunk = backup_trunk then Error "failover: trunks must differ"
+  else if List.mem backup_trunk access_ports then
+    Error "failover: backup trunk cannot be a managed access port"
+  else
+    match
+      Manager.configure_device ~device ~trunk_port:primary_trunk ~access_ports
+        ?base_vid ~disabled_ports:[ backup_trunk ] ()
+    with
+    | Error _ as e -> e
+    | Ok (map, _report) ->
+        let n = Port_map.size map in
+        let host = Mgmt.Device.hostname device in
+        let ss1 =
+          Soft_switch.create engine
+            ~name:(host ^ "-ss1")
+            ~ports:(patch_base + n)
+            ~dataplane ?pmd ~miss:Soft_switch.Drop_on_miss ()
+        in
+        let ss2 =
+          Soft_switch.create engine
+            ~name:(host ^ "-ss2")
+            ~ports:n ~dataplane ?pmd ~miss:Soft_switch.Send_to_controller ()
+        in
+        for i = 0 to n - 1 do
+          ignore
+            (Patch_port.connect
+               (Soft_switch.node ss1, patch_base + i)
+               (Soft_switch.node ss2, i))
+        done;
+        Translator.install ~trunk_port:0 ~patch_base ss1 map;
+        Ok
+          {
+            engine;
+            device;
+            primary_trunk;
+            backup_trunk;
+            ss1;
+            ss2;
+            map;
+            active = `Primary;
+            failovers = 0;
+          }
+
+let activate_backup t =
+  match t.active with
+  | `Backup -> Ok ()
+  | `Primary -> (
+      match
+        Manager.configure_device ~device:t.device ~trunk_port:t.backup_trunk
+          ~access_ports:(Port_map.access_ports t.map)
+          ~base_vid:(Port_map.base_vid t.map)
+          ~disabled_ports:[ t.primary_trunk ] ()
+      with
+      | Error _ as e -> e
+      | Ok _ ->
+          (* Repoint SS_1's hairpin at the backup NIC (port 1). *)
+          Translator.reinstall ~trunk_port:1 ~patch_base t.ss1 t.map;
+          t.active <- `Backup;
+          t.failovers <- t.failovers + 1;
+          Ok ())
+
+let start_watchdog t ~period =
+  if period <= 0 then invalid_arg "Failover.start_watchdog: bad period";
+  let rec tick () =
+    match t.active with
+    | `Backup -> () (* failed over; stop watching *)
+    | `Primary ->
+        if not (Node.attached (Soft_switch.node t.ss1) ~port:0) then
+          ignore (activate_backup t)
+        else Engine.schedule_after t.engine period tick
+  in
+  Engine.schedule_after t.engine period tick

@@ -1,0 +1,49 @@
+(** Redundant-trunk HARMLESS: the trunk is the architecture's single
+    point of failure, so this module provisions {e two} trunk links —
+    primary active, backup administratively shut on the legacy side —
+    and fails over by reconfiguring both ends:
+
+    + the Manager pushes a new config (backup trunk up, primary shut)
+      through the device's NAPALM driver;
+    + SS_1's translator rules are reinstalled to hairpin via the backup
+      NIC port.
+
+    Hosts keep their VLAN mapping; the controller and SS_2 never notice.
+
+    SS_1 port conventions here: port 0 = primary trunk NIC, port 1 =
+    backup trunk NIC, patch ports from 2. *)
+
+type t
+
+val patch_base : int
+(** 2 — first SS_1 patch port in the redundant layout. *)
+
+val provision :
+  Simnet.Engine.t ->
+  device:Mgmt.Device.t ->
+  primary_trunk:int ->
+  backup_trunk:int ->
+  access_ports:int list ->
+  ?base_vid:int ->
+  ?dataplane:Softswitch.Soft_switch.dataplane_kind ->
+  ?pmd:Softswitch.Pmd.config ->
+  unit ->
+  (t, string) result
+(** Like {!Manager.provision} but with a standby trunk.  The caller
+    connects two links: legacy [primary_trunk] ↔ SS_1 port 0 and legacy
+    [backup_trunk] ↔ SS_1 port 1. *)
+
+val ss1 : t -> Softswitch.Soft_switch.t
+val ss2 : t -> Softswitch.Soft_switch.t
+val port_map : t -> Port_map.t
+val active : t -> [ `Primary | `Backup ]
+
+val activate_backup : t -> (unit, string) result
+(** Perform the failover now (idempotent once on backup). *)
+
+val start_watchdog : t -> period:Simnet.Sim_time.span -> unit
+(** Poll the primary trunk NIC's attachment every [period]; when it goes
+    away, fail over automatically and stop watching. *)
+
+val failovers : t -> int
+(** Completed failovers (0 or 1). *)

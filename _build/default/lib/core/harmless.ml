@@ -1,0 +1,22 @@
+(** HARMLESS: a Hybrid ARchitecture to Migrate Legacy Ethernet Switches
+    to SDN — the paper's contribution, as a library.
+
+    Reading order:
+    - {!Port_map}: the access-port ↔ VLAN bijection underlying the trick;
+    - {!Translator}: the SS_1 flow program (tag → patch port and back);
+    - {!Manager}: the automation that configures a real (simulated)
+      device through SNMP/NAPALM and stands the software side up;
+    - {!Deployment}: turn-key single-switch topologies, plus legacy-only
+      and plain-OpenFlow baselines;
+    - {!Scaleout}: several legacy switches behind one server;
+    - {!Failover}: a standby trunk with watchdog-driven recovery;
+    - {!Transparency}: the checker for the paper's central property —
+      the controller cannot tell HARMLESS from a real OpenFlow switch. *)
+
+module Port_map = Port_map
+module Translator = Translator
+module Manager = Manager
+module Deployment = Deployment
+module Scaleout = Scaleout
+module Failover = Failover
+module Transparency = Transparency

@@ -1,0 +1,180 @@
+open Ethswitch
+open Mgmt
+open Softswitch
+
+type report = {
+  facts : Napalm.facts;
+  config_diff : string list;
+  steps : string list;
+}
+
+type provisioned = {
+  ss1 : Soft_switch.t;
+  ss2 : Soft_switch.t;
+  port_map : Port_map.t;
+  patches : Patch_port.t array;
+  report : report;
+}
+
+let ( let* ) = Result.bind
+
+let target_config device ~trunk_port ~map ~disabled_ports =
+  let current = Device.running_config device in
+  let vids = Port_map.vids map in
+  let stanza_for port =
+    if List.mem port disabled_ports then
+      {
+        Device_config.port;
+        mode = Port_config.Disabled;
+        description = Some "HARMLESS standby trunk (shut)";
+      }
+    else
+    match Port_map.vid_of_access_port map port with
+    | Some vid ->
+        {
+          Device_config.port;
+          mode = Port_config.Access vid;
+          description = Some (Printf.sprintf "HARMLESS access (vlan %d)" vid);
+        }
+    | None ->
+        if port = trunk_port then
+          {
+            Device_config.port;
+            mode = Port_config.Trunk { native = None; allowed = Port_config.Only vids };
+            description = Some "HARMLESS trunk to soft-switch server";
+          }
+        else
+          (* Leave unmanaged ports exactly as they are. *)
+          match Device_config.stanza_for current ~port with
+          | Some stanza -> stanza
+          | None ->
+              { Device_config.port; mode = Port_config.default; description = None }
+  in
+  let ports =
+    List.init (Legacy_switch.port_count (Device.switch device)) Fun.id
+  in
+  Device_config.make
+    ~hostname:(Device.hostname device)
+    (List.map stanza_for ports)
+
+let verify_over_snmp device ~map =
+  let snmp = Device.snmp device in
+  let check (port, expected_vid) =
+    match
+      Snmp.get snmp ~community:"public" (Oid.Std.vlan_port_vlan (port + 1))
+    with
+    | Ok (Mib.Int vid) when vid = expected_vid -> Ok ()
+    | Ok (Mib.Int vid) ->
+        Error
+          (Printf.sprintf "verification: port %d has pvid %d, expected %d" port
+             vid expected_vid)
+    | Ok (Mib.Str _) -> Error "verification: pvid has wrong type"
+    | Error e -> Error (Format.asprintf "verification: snmp %a" Snmp.pp_error e)
+  in
+  let pairs =
+    List.filter_map
+      (fun port ->
+        Option.map (fun vid -> (port, vid)) (Port_map.vid_of_access_port map port))
+      (Port_map.access_ports map)
+  in
+  List.fold_left
+    (fun acc pair -> match acc with Error _ -> acc | Ok () -> check pair)
+    (Ok ()) pairs
+
+let configure_device ~device ~trunk_port ~access_ports ?base_vid
+    ?(disabled_ports = []) () =
+  let steps = ref [] in
+  let log fmt = Printf.ksprintf (fun s -> steps := s :: !steps) fmt in
+  let napalm = Device.napalm device in
+  let facts = napalm.Napalm.get_facts () in
+  log "connected via %s driver: %s" napalm.Napalm.driver_name
+    (Format.asprintf "%a" Napalm.pp_facts facts);
+  let* () =
+    if List.mem trunk_port access_ports then
+      Error "trunk port cannot also be a managed access port"
+    else Ok ()
+  in
+  let* () =
+    let bad =
+      List.filter
+        (fun p -> p < 0 || p >= facts.Napalm.interface_count)
+        ((trunk_port :: access_ports) @ disabled_ports)
+    in
+    if bad = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "ports %s do not exist on %s"
+           (String.concat "," (List.map string_of_int bad))
+           facts.Napalm.hostname)
+  in
+  let* map =
+    match Port_map.make ?base_vid ~access_ports () with
+    | map -> Ok map
+    | exception Invalid_argument msg -> Error msg
+  in
+  log "computed mapping: %s" (Format.asprintf "%a" Port_map.pp map);
+  (* Stage and commit the tagging configuration. *)
+  let (module D : Dialect.S) = Device.dialect device in
+  let candidate_text = D.render (target_config device ~trunk_port ~map ~disabled_ports) in
+  let* () = napalm.Napalm.load_candidate candidate_text in
+  let diff = napalm.Napalm.compare_config () in
+  log "candidate loaded (%d changes)" (List.length diff);
+  let* () = napalm.Napalm.commit () in
+  log "committed configuration";
+  let* () =
+    match verify_over_snmp device ~map with
+    | Ok () ->
+        log "verified port VLANs over SNMP";
+        Ok ()
+    | Error msg ->
+        (* Leave the device as we found it. *)
+        (match napalm.Napalm.rollback () with
+        | Ok () -> log "verification failed; rolled back"
+        | Error _ -> log "verification failed; rollback also failed");
+        Error msg
+  in
+  Ok (map, { facts; config_diff = diff; steps = List.rev !steps })
+
+let provision engine ~device ~trunk_port ~access_ports ?base_vid
+    ?(dataplane = Soft_switch.Eswitch) ?pmd () =
+  let* map, report =
+    configure_device ~device ~trunk_port ~access_ports ?base_vid ()
+  in
+  (* Bring up the software side. *)
+  let n = Port_map.size map in
+  let host = report.facts.Napalm.hostname in
+  let ss1 =
+    Soft_switch.create engine
+      ~name:(host ^ "-ss1")
+      ~ports:(Translator.required_ports map)
+      ~dataplane ?pmd ~miss:Soft_switch.Drop_on_miss ()
+  in
+  let ss2 =
+    Soft_switch.create engine
+      ~name:(host ^ "-ss2")
+      ~ports:n ~dataplane ?pmd ~miss:Soft_switch.Send_to_controller ()
+  in
+  let patches =
+    Array.init n (fun i ->
+        Patch_port.connect
+          (Soft_switch.node ss1, Translator.patch_port_of_logical i)
+          (Soft_switch.node ss2, i))
+  in
+  Translator.install ss1 map;
+  let step =
+    Printf.sprintf
+      "instantiated SS_1 (%d ports) and SS_2 (%d ports), %d translator rules"
+      (Translator.required_ports map) n (2 * n)
+  in
+  Ok
+    {
+      ss1;
+      ss2;
+      port_map = map;
+      patches;
+      report = { report with steps = report.steps @ [ step ] };
+    }
+
+let deprovision device =
+  let napalm = Device.napalm device in
+  napalm.Napalm.rollback ()

@@ -1,0 +1,64 @@
+(** The HARMLESS Manager: the automation that turns a managed legacy
+    switch plus a server into one OpenFlow switch (the Python/BASH tool of
+    the paper, reimplemented as a library).
+
+    Given a device handle (NAPALM driver + SNMP agent) and the desired
+    OpenFlow-enabled port set, {!provision}:
+
+    + discovers the device (facts, interfaces) through NAPALM;
+    + computes the port ↔ VLAN mapping;
+    + generates the target configuration — one access VLAN per managed
+      port, the trunk carrying exactly those VLANs — renders it in the
+      device's own NOS dialect, stages it as a candidate and commits it;
+    + verifies the result out-of-band over SNMP (dot1qPvid walk);
+    + instantiates SS_1 and SS_2 connected by patch ports and installs
+      the translator rules into SS_1.
+
+    The returned SS_2 is a plain OpenFlow switch from the controller's
+    point of view: its port [i] {e is} the [i]-th managed access port. *)
+
+type report = {
+  facts : Mgmt.Napalm.facts;
+  config_diff : string list;  (** what the commit changed *)
+  steps : string list;        (** human-readable action log, in order *)
+}
+
+type provisioned = {
+  ss1 : Softswitch.Soft_switch.t;
+  ss2 : Softswitch.Soft_switch.t;
+  port_map : Port_map.t;
+  patches : Softswitch.Patch_port.t array;
+  report : report;
+}
+
+val provision :
+  Simnet.Engine.t ->
+  device:Mgmt.Device.t ->
+  trunk_port:int ->
+  access_ports:int list ->
+  ?base_vid:int ->
+  ?dataplane:Softswitch.Soft_switch.dataplane_kind ->
+  ?pmd:Softswitch.Pmd.config ->
+  unit ->
+  (provisioned, string) result
+(** Fails (with the device rolled back where possible) if the port set is
+    invalid for the device, the commit is rejected, or verification finds
+    a mismatch. *)
+
+val configure_device :
+  device:Mgmt.Device.t ->
+  trunk_port:int ->
+  access_ports:int list ->
+  ?base_vid:int ->
+  ?disabled_ports:int list ->
+  unit ->
+  (Port_map.t * report, string) result
+(** Steps 1–4 of {!provision} only: discover, compute the mapping,
+    commit the tagging configuration and verify it over SNMP — without
+    creating any software switches.  {!Scaleout} uses this to share one
+    SS_2 across several devices; {!Failover} uses [disabled_ports] to
+    keep the standby trunk shut.  Ports in [disabled_ports] are forced to
+    [Disabled] in the candidate. *)
+
+val deprovision : Mgmt.Device.t -> (unit, string) result
+(** Roll the legacy switch back to its pre-HARMLESS configuration. *)

@@ -1,0 +1,49 @@
+type t = { base_vid : int; access_ports : int array }
+
+let make ?(base_vid = 101) ~access_ports () =
+  if access_ports = [] then invalid_arg "Port_map.make: no access ports";
+  let sorted = List.sort_uniq Int.compare access_ports in
+  if List.length sorted <> List.length access_ports then
+    invalid_arg "Port_map.make: duplicate access ports";
+  if List.exists (fun p -> p < 0) access_ports then
+    invalid_arg "Port_map.make: negative port";
+  let top_vid = base_vid + List.length access_ports - 1 in
+  (* VLAN 1 is the factory default everywhere; never map onto it. *)
+  if base_vid < 2 || top_vid > 4094 then
+    invalid_arg "Port_map.make: vid range outside [2, 4094]";
+  { base_vid; access_ports = Array.of_list access_ports }
+
+let size t = Array.length t.access_ports
+let base_vid t = t.base_vid
+let access_ports t = Array.to_list t.access_ports
+let vids t = List.init (size t) (fun i -> t.base_vid + i)
+
+let logical_of_access_port t port =
+  let rec find i =
+    if i >= Array.length t.access_ports then None
+    else if t.access_ports.(i) = port then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let access_port_of_logical t i =
+  if i >= 0 && i < Array.length t.access_ports then Some t.access_ports.(i)
+  else None
+
+let vid_of_logical t i = if i >= 0 && i < size t then Some (t.base_vid + i) else None
+
+let logical_of_vid t vid =
+  let i = vid - t.base_vid in
+  if i >= 0 && i < size t then Some i else None
+
+let vid_of_access_port t port =
+  Option.bind (logical_of_access_port t port) (vid_of_logical t)
+
+let access_port_of_vid t vid =
+  Option.bind (logical_of_vid t vid) (access_port_of_logical t)
+
+let pp fmt t =
+  Format.fprintf fmt "port-map:";
+  Array.iteri
+    (fun i port -> Format.fprintf fmt " %d<->vlan%d" port (t.base_vid + i))
+    t.access_ports

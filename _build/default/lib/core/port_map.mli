@@ -1,0 +1,36 @@
+(** The heart of the HARMLESS trick: a bijection between the legacy
+    switch's managed access ports and the VLAN ids that represent them on
+    the trunk.  Port [p_i] ↔ VLAN [base_vid + i], checked to stay inside
+    the valid 802.1Q range and never to collide with the reserved default
+    VLAN 1. *)
+
+type t
+
+val make : ?base_vid:int -> access_ports:int list -> unit -> t
+(** [make ~access_ports ()] maps the listed legacy ports (in order) to
+    consecutive VLAN ids starting at [base_vid] (default 101).
+    @raise Invalid_argument on duplicate ports, an empty list, or VLAN
+    ids that would leave [2, 4094]. *)
+
+val size : t -> int
+val base_vid : t -> int
+
+val access_ports : t -> int list
+(** In mapping order: the [i]-th element corresponds to SS_2 port [i]. *)
+
+val vids : t -> int list
+
+val vid_of_access_port : t -> int -> int option
+(** The VLAN representing a legacy access port. *)
+
+val access_port_of_vid : t -> int -> int option
+
+val logical_of_access_port : t -> int -> int option
+(** The SS_2 ("logical OpenFlow") port index for a legacy access port. *)
+
+val access_port_of_logical : t -> int -> int option
+
+val vid_of_logical : t -> int -> int option
+val logical_of_vid : t -> int -> int option
+
+val pp : Format.formatter -> t -> unit

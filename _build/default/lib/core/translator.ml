@@ -1,0 +1,46 @@
+open Openflow
+
+let trunk_port = 0
+let patch_port_of_logical i = 1 + i
+let required_ports map = 1 + Port_map.size map
+
+let rules ?(trunk_port = trunk_port) ?(patch_base = 1) map =
+  List.concat_map
+    (fun i ->
+      let v =
+        match Port_map.vid_of_logical map i with
+        | Some v -> v
+        | None -> assert false
+      in
+      let from_trunk =
+        Of_message.add_flow ~priority:2000
+          ~match_:Of_match.(any |> in_port trunk_port |> vid v)
+          [
+            Flow_entry.Apply_actions
+              [ Of_action.Pop_vlan; Of_action.output (patch_base + i) ];
+          ]
+      in
+      let to_trunk =
+        Of_message.add_flow ~priority:2000
+          ~match_:Of_match.(any |> in_port (patch_base + i))
+          [
+            Flow_entry.Apply_actions
+              [
+                Of_action.Push_vlan;
+                Of_action.Set_vlan_vid v;
+                Of_action.output trunk_port;
+              ];
+          ]
+      in
+      [ from_trunk; to_trunk ])
+    (List.init (Port_map.size map) Fun.id)
+
+let install ?trunk_port ?patch_base ss1 map =
+  List.iter
+    (fun fm -> Softswitch.Soft_switch.handle_message ss1 (Of_message.Flow_mod fm))
+    (rules ?trunk_port ?patch_base map)
+
+let reinstall ?trunk_port ?patch_base ss1 map =
+  Softswitch.Soft_switch.handle_message ss1
+    (Of_message.Flow_mod (Of_message.delete_flow Of_match.any));
+  install ?trunk_port ?patch_base ss1 map

@@ -1,0 +1,35 @@
+(** The data-plane transparency property (experiment E9): a controller
+    program cannot tell SS_2-behind-the-translator from a plain OpenFlow
+    switch.  We check it end-to-end: run the {e same} controller apps and
+    the {e same} traffic on a plain-OpenFlow deployment and on a HARMLESS
+    deployment, then compare what every host received.
+
+    Comparison is per-host and order-insensitive (HARMLESS shifts
+    timing, which may interleave independent flows differently) but
+    byte-exact on the delivered frames {e addressed to the host} (its
+    unicast MAC, or group addresses).  Frames flooded at a host that are
+    addressed to someone else's MAC are excluded deliberately: the legacy
+    switch's FDB legitimately suppresses some of those spurious copies
+    (it knows the destination lives behind the trunk), real switches
+    differ on them too, and no host's stack ever consumes them — they are
+    outside the service contract the transparency claim is about. *)
+
+type scenario = {
+  num_hosts : int;
+  apps : unit -> Sdnctl.Controller.app list;
+      (** fresh app instances per deployment (apps hold state) *)
+  traffic : Deployment.t -> unit;
+      (** schedule the workload; called after the control handshake *)
+  warmup : Simnet.Sim_time.span;  (** time for handshake + proactive rules *)
+  duration : Simnet.Sim_time.span;  (** how long to run after [traffic] *)
+}
+
+type verdict = {
+  equivalent : bool;
+  mismatches : string list;     (** human-readable, per host *)
+  plain_delivered : int;        (** total frames delivered, plain OF *)
+  harmless_delivered : int;
+}
+
+val run : scenario -> (verdict, string) result
+(** [Error] only if the HARMLESS deployment fails to provision. *)

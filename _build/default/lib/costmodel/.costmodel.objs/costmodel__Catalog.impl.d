@@ -1,0 +1,1 @@
+lib/costmodel/catalog.ml: Format List String

@@ -1,0 +1,1 @@
+lib/costmodel/cost.ml: Float Format List Scenario

@@ -1,0 +1,1 @@
+lib/costmodel/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/costmodel/scenario.ml: Catalog Format List

@@ -1,0 +1,1 @@
+lib/costmodel/scenario.mli: Catalog Format

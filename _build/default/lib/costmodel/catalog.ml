@@ -1,0 +1,75 @@
+type device = {
+  sku : string;
+  description : string;
+  access_ports : int;
+  uplink_ports : int;
+  price_usd : float;
+  openflow_capable : bool;
+}
+
+let legacy_24 =
+  {
+    sku = "legacy-24";
+    description = "24x1G managed L2 switch, 2x10G uplinks";
+    access_ports = 24;
+    uplink_ports = 2;
+    price_usd = 450.0;
+    openflow_capable = false;
+  }
+
+let legacy_48 =
+  {
+    sku = "legacy-48";
+    description = "48x1G managed L2 switch, 4x10G uplinks";
+    access_ports = 48;
+    uplink_ports = 4;
+    price_usd = 850.0;
+    openflow_capable = false;
+  }
+
+let cots_sdn_24 =
+  {
+    sku = "cots-sdn-24";
+    description = "24x1G OpenFlow ToR incl. licenses";
+    access_ports = 24;
+    uplink_ports = 2;
+    price_usd = 4500.0;
+    openflow_capable = true;
+  }
+
+let cots_sdn_48 =
+  {
+    sku = "cots-sdn-48";
+    description = "48x1G OpenFlow ToR incl. licenses";
+    access_ports = 48;
+    uplink_ports = 4;
+    price_usd = 7500.0;
+    openflow_capable = true;
+  }
+
+let server =
+  {
+    sku = "server";
+    description = "1U server, dual-port 10G DPDK NIC";
+    access_ports = 0;
+    uplink_ports = 2;
+    price_usd = 2500.0;
+    openflow_capable = true;
+  }
+
+let nic_dual_10g =
+  {
+    sku = "nic-2x10g";
+    description = "extra dual-port 10G NIC";
+    access_ports = 0;
+    uplink_ports = 2;
+    price_usd = 350.0;
+    openflow_capable = false;
+  }
+
+let all = [ legacy_24; legacy_48; cots_sdn_24; cots_sdn_48; server; nic_dual_10g ]
+
+let find sku = List.find_opt (fun d -> String.equal d.sku sku) all
+
+let pp fmt d =
+  Format.fprintf fmt "%-12s $%-7.0f %s" d.sku d.price_usd d.description

@@ -1,0 +1,41 @@
+type row = {
+  ports : int;
+  cots : float;
+  greenfield : float;
+  brownfield : float;
+  software : float;
+}
+
+let row_of ports =
+  {
+    ports;
+    cots = Scenario.cost_per_port (Scenario.cots_sdn ~ports);
+    greenfield = Scenario.cost_per_port (Scenario.harmless_greenfield ~ports);
+    brownfield = Scenario.cost_per_port (Scenario.harmless_brownfield ~ports);
+    software = Scenario.cost_per_port (Scenario.software_only ~ports);
+  }
+
+let sweep ~port_counts = List.map row_of port_counts
+
+let savings_vs_cots ~ports =
+  let cots = Scenario.total (Scenario.cots_sdn ~ports) in
+  let harmless = Scenario.total (Scenario.harmless_brownfield ~ports) in
+  if cots <= 0.0 then 0.0 else Float.max 0.0 (1.0 -. (harmless /. cots))
+
+let crossover_vs_cots ~max_ports =
+  let rec search ports =
+    if ports > max_ports then None
+    else
+      let r = row_of ports in
+      if r.greenfield >= r.cots then Some ports else search (ports + 1)
+  in
+  search 1
+
+let pp_row fmt r =
+  Format.fprintf fmt "%6d | %10.1f | %10.1f | %10.1f | %10.1f" r.ports r.cots
+    r.greenfield r.brownfield r.software
+
+let pp_table fmt rows =
+  Format.fprintf fmt " ports |  cots $/p  | green $/p  | brown $/p  |  soft $/p@.";
+  Format.fprintf fmt "-------+------------+------------+------------+-----------@.";
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_row r) rows

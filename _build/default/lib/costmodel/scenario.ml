@@ -1,0 +1,107 @@
+type bill_line = { item : Catalog.device; quantity : int }
+
+type bill = {
+  scenario : string;
+  ports_requested : int;
+  ports_provided : int;
+  lines : bill_line list;
+}
+
+let total bill =
+  List.fold_left
+    (fun acc line -> acc +. (float_of_int line.quantity *. line.item.Catalog.price_usd))
+    0.0 bill.lines
+
+let cost_per_port bill =
+  if bill.ports_requested <= 0 then 0.0
+  else total bill /. float_of_int bill.ports_requested
+
+let ceil_div a b = (a + b - 1) / b
+
+let check_ports ports =
+  if ports <= 0 then invalid_arg "Scenario: ports must be positive"
+
+(* Prefer 48-port boxes, topping up with a 24-port one when the remainder
+   fits. *)
+let tor_mix ports (small : Catalog.device) (big : Catalog.device) =
+  let bigs = ports / big.Catalog.access_ports in
+  let rest = ports - (bigs * big.Catalog.access_ports) in
+  if rest = 0 then [ (big, bigs) ]
+  else if rest <= small.Catalog.access_ports then
+    (if bigs > 0 then [ (big, bigs) ] else []) @ [ (small, 1) ]
+  else [ (big, bigs + 1) ]
+
+let mk scenario ports lines =
+  let provided =
+    List.fold_left
+      (fun acc (d, q) -> acc + (q * d.Catalog.access_ports))
+      0 lines
+  in
+  {
+    scenario;
+    ports_requested = ports;
+    ports_provided = provided;
+    lines = List.map (fun (item, quantity) -> { item; quantity }) lines;
+  }
+
+let cots_sdn ~ports =
+  check_ports ports;
+  mk "cots-sdn" ports (tor_mix ports Catalog.cots_sdn_24 Catalog.cots_sdn_48)
+
+(* One trunk per legacy switch; a server terminates 2 trunks on its
+   built-in NIC and up to 4 more with two extra dual-port NICs.  We size
+   servers at 3 trunks each (one extra NIC): enough 10G capacity for
+   48x1G access ports per trunk without pathological oversubscription. *)
+let trunks_per_server = 3
+
+let harmless_switch_lines ports =
+  let switches = ceil_div ports Catalog.legacy_48.Catalog.access_ports in
+  let servers = ceil_div switches trunks_per_server in
+  let extra_nics = servers (* one per server for the third trunk *) in
+  (switches, [ (Catalog.server, servers); (Catalog.nic_dual_10g, extra_nics) ])
+
+let harmless_greenfield ~ports =
+  check_ports ports;
+  let switches, server_lines = harmless_switch_lines ports in
+  mk "harmless-greenfield" ports
+     ((Catalog.legacy_48, switches) :: server_lines)
+
+let harmless_brownfield ~ports =
+  check_ports ports;
+  let switches, server_lines = harmless_switch_lines ports in
+  (* The owned legacy switches appear with quantity but zero incremental
+     cost: model them with a zero-priced clone so the bill stays honest
+     about what is deployed. *)
+  let owned =
+    { Catalog.legacy_48 with Catalog.sku = "legacy-48 (owned)"; price_usd = 0.0 }
+  in
+  mk "harmless-brownfield" ports ((owned, switches) :: server_lines)
+
+let software_only ~ports =
+  check_ports ports;
+  (* 6 usable ports per fully-equipped server (2 onboard + 2x2 on NICs). *)
+  let ports_per_server = 6 in
+  let servers = ceil_div ports ports_per_server in
+  let lines =
+    [ (Catalog.server, servers); (Catalog.nic_dual_10g, 2 * servers) ]
+  in
+  (* access_ports of a server is 0 in the catalog; patch provided count. *)
+  let bill = mk "software-only" ports lines in
+  { bill with ports_provided = servers * ports_per_server }
+
+let all ~ports =
+  [
+    cots_sdn ~ports;
+    harmless_greenfield ~ports;
+    harmless_brownfield ~ports;
+    software_only ~ports;
+  ]
+
+let pp_bill fmt bill =
+  Format.fprintf fmt "%s: %d ports requested, %d provided, $%.0f ($%.1f/port)@."
+    bill.scenario bill.ports_requested bill.ports_provided (total bill)
+    (cost_per_port bill);
+  List.iter
+    (fun line ->
+      Format.fprintf fmt "  %dx %a@." line.quantity Catalog.pp line.item)
+    bill.lines

@@ -1,0 +1,36 @@
+(** Migration scenarios: ways of obtaining [n] OpenFlow-controlled access
+    ports, each priced from the {!Catalog}. *)
+
+type bill_line = { item : Catalog.device; quantity : int }
+
+type bill = {
+  scenario : string;
+  ports_requested : int;
+  ports_provided : int;
+  lines : bill_line list;
+}
+
+val total : bill -> float
+val cost_per_port : bill -> float
+(** Total divided by {e requested} ports. *)
+
+val cots_sdn : ports:int -> bill
+(** Rip-and-replace with COTS OpenFlow ToRs (mix of 24/48-port models). *)
+
+val harmless_greenfield : ports:int -> bill
+(** Buy legacy switches {e and} the servers: one 48-port legacy switch per
+    trunk, one server (2 trunk terminations, expandable to 6 with extra
+    NICs) shared by up to 3 legacy switches. *)
+
+val harmless_brownfield : ports:int -> bill
+(** The paper's headline case: the legacy switches are already owned, so
+    only servers (and extra NICs) are bought. *)
+
+val software_only : ports:int -> bill
+(** Servers used directly as switches.  Port density is capped by the
+    blade form factor — 6×10G ports per server with both extra NICs —
+    so GbE access ports must each consume a server port; this is the
+    "lower league in port density" the paper mentions. *)
+
+val all : ports:int -> bill list
+val pp_bill : Format.formatter -> bill -> unit

@@ -1,0 +1,1 @@
+lib/ethswitch/legacy_switch.ml: Array Engine Float Int List Mac_addr Mac_table Netpkt Node Option Packet Port_config Printf Set Sim_time Simnet Stats Vlan

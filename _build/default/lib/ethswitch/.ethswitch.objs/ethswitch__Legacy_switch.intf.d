@@ -1,0 +1,1 @@
+lib/ethswitch/legacy_switch.mli: Mac_table Port_config Simnet

@@ -1,0 +1,1 @@
+lib/ethswitch/mac_table.ml: Hashtbl List Netpkt Sim_time Simnet

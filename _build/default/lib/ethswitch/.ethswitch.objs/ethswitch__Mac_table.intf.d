@@ -1,0 +1,1 @@
+lib/ethswitch/mac_table.mli: Netpkt Simnet

@@ -1,0 +1,1 @@
+lib/ethswitch/port_config.ml: Format List Option String

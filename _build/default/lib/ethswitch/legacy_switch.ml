@@ -1,0 +1,195 @@
+open Simnet
+open Netpkt
+
+type storm_bucket = {
+  pps : int;
+  mutable tokens : float;
+  mutable last_refill : Sim_time.t;
+}
+
+type t = {
+  node : Node.t;
+  engine : Engine.t;
+  name : string;
+  modes : Port_config.mode array;
+  mac_table : Mac_table.t;
+  processing_delay : Sim_time.span;
+  mutable storm : storm_bucket option array;
+  mutable max_macs : int option array;
+  mutable mirror : int option;
+}
+
+let node t = t.node
+let name t = t.name
+let port_count t = Array.length t.modes
+let mac_table t = t.mac_table
+let counters t = Node.counters t.node
+
+let check_port t port =
+  if port < 0 || port >= Array.length t.modes then
+    invalid_arg (Printf.sprintf "Legacy_switch %s: bad port %d" t.name port)
+
+let set_port_mode t ~port mode =
+  check_port t port;
+  t.modes.(port) <- mode;
+  Mac_table.flush_port t.mac_table ~port
+
+let port_mode t ~port =
+  check_port t port;
+  t.modes.(port)
+
+let set_storm_control t ~port ~pps =
+  check_port t port;
+  match pps with
+  | None -> t.storm.(port) <- None
+  | Some rate ->
+      if rate <= 0 then invalid_arg "Legacy_switch.set_storm_control: pps <= 0";
+      t.storm.(port) <-
+        Some
+          {
+            pps = rate;
+            tokens = float_of_int rate /. 10.0;
+            last_refill = Engine.now t.engine;
+          }
+
+let storm_control t ~port =
+  check_port t port;
+  Option.map (fun b -> b.pps) t.storm.(port)
+
+let set_port_security t ~port ~max_macs =
+  check_port t port;
+  (match max_macs with
+  | Some n when n <= 0 -> invalid_arg "Legacy_switch.set_port_security: max <= 0"
+  | Some _ | None -> ());
+  t.max_macs.(port) <- max_macs
+
+let port_security t ~port =
+  check_port t port;
+  t.max_macs.(port)
+
+let set_mirror t ~dst =
+  (match dst with Some p -> check_port t p | None -> ());
+  t.mirror <- dst
+
+let mirror t = t.mirror
+
+(* Port security ("protect" mode): a new source address beyond the limit
+   is not learned and its frames are dropped; known addresses keep
+   working. *)
+let security_allows t ~in_port ~vlan ~mac ~now =
+  match t.max_macs.(in_port) with
+  | None -> true
+  | Some limit -> (
+      (not (Netpkt.Mac_addr.is_unicast mac))
+      ||
+      match Mac_table.lookup t.mac_table ~now ~vlan ~mac with
+      | Some p when p = in_port -> true
+      | Some _ | None -> Mac_table.count_port t.mac_table ~port:in_port < limit)
+
+(* One token per allowed packet; bucket caps at a 100 ms burst. *)
+let storm_allows t ~port =
+  match t.storm.(port) with
+  | None -> true
+  | Some b ->
+      let now = Engine.now t.engine in
+      let elapsed = Sim_time.span_to_seconds (Sim_time.diff now b.last_refill) in
+      if elapsed > 0.0 then begin
+        b.tokens <-
+          Float.min (float_of_int b.pps /. 10.0)
+            (b.tokens +. (elapsed *. float_of_int b.pps));
+        b.last_refill <- now
+      end;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        true
+      end
+      else false
+
+let vlans_in_use t =
+  let module Iset = Set.Make (Int) in
+  let add_mode acc = function
+    | Port_config.Access pvid -> Iset.add pvid acc
+    | Port_config.Disabled -> acc
+    | Port_config.Trunk { native; allowed } ->
+        let acc = match native with Some v -> Iset.add v acc | None -> acc in
+        (match allowed with
+        | Port_config.All -> acc
+        | Port_config.Only vids -> List.fold_left (fun a v -> Iset.add v a) acc vids)
+  in
+  Iset.elements (Array.fold_left add_mode Iset.empty t.modes)
+
+(* Send [inner] (the frame without its outer customer tag) out of [port],
+   encapsulated for that port's membership of [vlan].  A configured SPAN
+   port additionally gets an untagged copy of everything that egresses. *)
+let egress t ~port ~vlan inner =
+  let sent =
+    match Port_config.egress_encap t.modes.(port) ~vlan with
+    | None -> false
+    | Some `Untagged ->
+        Node.transmit t.node ~port inner;
+        true
+    | Some (`Tagged vid) ->
+        Node.transmit t.node ~port (Packet.push_vlan (Vlan.make vid) inner);
+        true
+  in
+  match t.mirror with
+  | Some span when sent && span <> port -> Node.transmit t.node ~port:span inner
+  | Some _ | None -> ()
+
+let forward t ~in_port (pkt : Packet.t) =
+  let c = Node.counters t.node in
+  let mode = t.modes.(in_port) in
+  match Port_config.classify_ingress mode ~tag_vid:(Packet.outer_vid pkt) with
+  | None -> Stats.Counter.incr c "drop_ingress_vlan"
+  | Some vlan ->
+      (* Work with the frame stripped of its outer tag (if it had one). *)
+      let inner =
+        match Packet.pop_vlan pkt with Some (_, rest) -> rest | None -> pkt
+      in
+      let now = Engine.now t.engine in
+      if not (security_allows t ~in_port ~vlan ~mac:pkt.Packet.src ~now) then
+        Stats.Counter.incr c "drop_port_security"
+      else begin
+      Mac_table.learn t.mac_table ~now ~vlan ~mac:pkt.Packet.src ~port:in_port;
+      let flood () =
+        Stats.Counter.incr c "flood";
+        for port = 0 to Array.length t.modes - 1 do
+          if port <> in_port then egress t ~port ~vlan inner
+        done
+      in
+      if not (Mac_addr.is_unicast pkt.Packet.dst) then begin
+        if storm_allows t ~port:in_port then flood ()
+        else Stats.Counter.incr c "drop_storm"
+      end
+      else
+        match Mac_table.lookup t.mac_table ~now ~vlan ~mac:pkt.Packet.dst with
+        | None -> flood ()
+        | Some out_port when out_port = in_port ->
+            Stats.Counter.incr c "drop_same_port"
+        | Some out_port ->
+            Stats.Counter.incr c "fwd";
+            egress t ~port:out_port ~vlan inner
+      end
+
+let create engine ~name ~ports ?(processing_delay = Sim_time.us 4)
+    ?(mac_table_capacity = 8192) ?(mac_aging = Sim_time.s 300) () =
+  let node = Node.create engine ~name ~ports in
+  let t =
+    {
+      node;
+      engine;
+      name;
+      modes = Array.make ports Port_config.default;
+      mac_table = Mac_table.create ~capacity:mac_table_capacity ~aging:mac_aging ();
+      processing_delay;
+      storm = Array.make ports None;
+      max_macs = Array.make ports None;
+      mirror = None;
+    }
+  in
+  Node.set_handler node (fun _node ~in_port pkt ->
+      if t.processing_delay = 0 then forward t ~in_port pkt
+      else
+        Engine.schedule_after engine t.processing_delay (fun () ->
+            forward t ~in_port pkt));
+  t

@@ -1,0 +1,71 @@
+open Simnet
+
+type key = int * Netpkt.Mac_addr.t
+
+type entry = { port : int; learned_at : Sim_time.t }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  capacity : int;
+  aging : Sim_time.span;
+}
+
+let create ?(capacity = 8192) ?(aging = Sim_time.s 300) () =
+  if capacity <= 0 then invalid_arg "Mac_table.create: capacity <= 0";
+  { table = Hashtbl.create 256; capacity; aging }
+
+let expired t ~now entry =
+  Sim_time.diff now entry.learned_at > t.aging
+
+let evict_oldest t =
+  let oldest =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when Sim_time.compare best.learned_at entry.learned_at <= 0 ->
+            acc
+        | Some _ | None -> Some (key, entry))
+      t.table None
+  in
+  match oldest with
+  | Some (key, _) -> Hashtbl.remove t.table key
+  | None -> ()
+
+let learn t ~now ~vlan ~mac ~port =
+  if Netpkt.Mac_addr.is_unicast mac then begin
+    let key = (vlan, mac) in
+    if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.capacity then
+      evict_oldest t;
+    Hashtbl.replace t.table key { port; learned_at = now }
+  end
+
+let lookup t ~now ~vlan ~mac =
+  let key = (vlan, mac) in
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some entry ->
+      if expired t ~now entry then begin
+        Hashtbl.remove t.table key;
+        None
+      end
+      else Some entry.port
+
+let entry_count t = Hashtbl.length t.table
+
+let count_port t ~port =
+  Hashtbl.fold (fun _ e acc -> if e.port = port then acc + 1 else acc) t.table 0
+let capacity t = t.capacity
+let flush t = Hashtbl.reset t.table
+
+let flush_port t ~port =
+  let doomed =
+    Hashtbl.fold
+      (fun key entry acc -> if entry.port = port then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed
+
+let entries t =
+  Hashtbl.fold
+    (fun (vlan, mac) entry acc -> (vlan, mac, entry.port, entry.learned_at) :: acc)
+    t.table []

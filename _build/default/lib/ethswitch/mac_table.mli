@@ -1,0 +1,30 @@
+(** MAC learning table of a legacy L2 switch: maps (VLAN, MAC) to the
+    port where the address was last seen, with aging and a capacity
+    limit (oldest entry evicted when full, as low-end switches do). *)
+
+type t
+
+val create : ?capacity:int -> ?aging:Simnet.Sim_time.span -> unit -> t
+(** Defaults: capacity 8192 entries, aging 300 s (the 802.1D default). *)
+
+val learn :
+  t -> now:Simnet.Sim_time.t -> vlan:int -> mac:Netpkt.Mac_addr.t -> port:int -> unit
+(** Insert or refresh an entry.  Multicast/broadcast sources are ignored. *)
+
+val lookup :
+  t -> now:Simnet.Sim_time.t -> vlan:int -> mac:Netpkt.Mac_addr.t -> int option
+(** The port for (vlan, mac), unless unknown or aged out (expired entries
+    are removed on the fly). *)
+
+val entry_count : t -> int
+val capacity : t -> int
+
+val count_port : t -> port:int -> int
+(** Live entries learned on one port. *)
+
+val flush : t -> unit
+val flush_port : t -> port:int -> unit
+(** Forget everything learned on [port] (used on topology change). *)
+
+val entries : t -> (int * Netpkt.Mac_addr.t * int * Simnet.Sim_time.t) list
+(** (vlan, mac, port, learned_at), unordered. *)

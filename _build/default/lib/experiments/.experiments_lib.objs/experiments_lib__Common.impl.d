@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Engine Flow_entry Harmless Host List Netpkt Of_action Of_match Of_message Openflow Sdnctl Sim_time Simnet

@@ -1,0 +1,1 @@
+lib/experiments/e10_mgmt.ml: Engine Ethswitch Fun Harmless Legacy_switch List Mgmt Printf Simnet String Tables

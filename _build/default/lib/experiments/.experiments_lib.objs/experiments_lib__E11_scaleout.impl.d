@@ -1,0 +1,1 @@
+lib/experiments/e11_scaleout.ml: Array Common Engine Harmless Host List Printf Rng Sim_time Simnet Stats Tables Traffic

@@ -1,0 +1,1 @@
+lib/experiments/e11_scaleout.mli:

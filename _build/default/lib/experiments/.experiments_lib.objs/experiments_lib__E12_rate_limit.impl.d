@@ -1,0 +1,1 @@
+lib/experiments/e12_rate_limit.ml: Common Engine Harmless Host List Netpkt Printf Rng Sdnctl Sim_time Simnet Tables Traffic

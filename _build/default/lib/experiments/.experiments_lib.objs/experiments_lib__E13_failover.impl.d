@@ -1,0 +1,1 @@
+lib/experiments/e13_failover.ml: Array Common Engine Ethswitch Harmless Host Legacy_switch Link List Mgmt Printf Rng Sdnctl Sim_time Simnet Softswitch Stdlib Tables Traffic

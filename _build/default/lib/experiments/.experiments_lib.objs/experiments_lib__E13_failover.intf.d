@@ -1,0 +1,1 @@
+lib/experiments/e13_failover.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e14_tcp.ml: Char Common Engine Harmless Link List Printf Sim_time Simnet String Tables Tcp_session

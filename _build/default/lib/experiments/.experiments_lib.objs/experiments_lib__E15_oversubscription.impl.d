@@ -1,0 +1,1 @@
+lib/experiments/e15_oversubscription.ml: Common Engine Float Harmless Link List Printf Rng Sim_time Simnet Tables Traffic

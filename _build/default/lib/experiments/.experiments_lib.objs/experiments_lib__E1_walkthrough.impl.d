@@ -1,0 +1,1 @@
+lib/experiments/e1_walkthrough.ml: Capture Common Engine Ethswitch Harmless Host Icmp Ipv4 List Netpkt Node Packet Printf Sdnctl Sim_time Simnet Softswitch String Tables

@@ -1,0 +1,1 @@
+lib/experiments/e2_throughput.ml: Common Engine Float Flow_entry Harmless List Netpkt Of_action Of_match Of_message Openflow Rng Sdnctl Sim_time Simnet Softswitch Tables Traffic

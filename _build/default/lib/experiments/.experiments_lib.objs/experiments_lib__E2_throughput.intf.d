@@ -1,0 +1,1 @@
+lib/experiments/e2_throughput.mli: Harmless Sdnctl Softswitch

@@ -1,0 +1,1 @@
+lib/experiments/e3_latency.ml: Array Common E2_throughput Engine Harmless Host List Rng Sim_time Simnet Softswitch Stats Tables Traffic

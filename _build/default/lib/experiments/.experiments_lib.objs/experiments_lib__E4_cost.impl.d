@@ -1,0 +1,1 @@
+lib/experiments/e4_cost.ml: Costmodel Format List Printf Tables

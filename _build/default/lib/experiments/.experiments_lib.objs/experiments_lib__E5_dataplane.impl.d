@@ -1,0 +1,1 @@
+lib/experiments/e5_dataplane.ml: Array Dataplane Eswitch Flow_entry Flow_table Ipv4_addr Linear List Mac_addr Netpkt Of_action Of_match Openflow Ovs_like Packet Pipeline Pmd Simnet Softswitch Tables

@@ -1,0 +1,1 @@
+lib/experiments/e5_dataplane.mli: Netpkt Openflow Simnet

@@ -1,0 +1,1 @@
+lib/experiments/e6_load_balancer.ml: Common Engine Harmless Host Ipv4 Ipv4_addr List Mac_addr Netpkt Packet Printf Rng Sdnctl Sim_time Simnet Stdlib Tables Tcp

@@ -1,0 +1,1 @@
+lib/experiments/e7_dmz.ml: Common Engine Fun Harmless Host Ipv4 List Netpkt Packet Printf Sdnctl Sim_time Simnet Tables Udp

@@ -1,0 +1,1 @@
+lib/experiments/e8_parental_control.ml: Common Engine Harmless Host List Printf Sdnctl Sim_time Simnet Tables

@@ -1,0 +1,1 @@
+lib/experiments/e9_transparency.ml: Common Engine Harmless Host List Netpkt Packet Printf Sdnctl Sim_time Simnet Tables

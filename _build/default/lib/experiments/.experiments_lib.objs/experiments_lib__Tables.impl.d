@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Char Filename Fun List Option Printf Stdlib String Unix

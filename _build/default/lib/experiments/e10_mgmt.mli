@@ -1,0 +1,15 @@
+(** E10 — the Manager workflow across NOS dialects: provision, verify
+    over SNMP, roll back. *)
+
+type row = {
+  vendor : string;
+  ports : int;
+  managed : int;
+  steps : int;
+  diff_lines : int;
+  snmp_requests : int;
+  rollback_ok : bool;
+}
+
+val rows : unit -> row list
+val run : unit -> row list

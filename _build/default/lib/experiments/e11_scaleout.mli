@@ -1,0 +1,15 @@
+(** E11 (extension) — several legacy switches behind one server acting as
+    a single logical OpenFlow switch. *)
+
+type result = {
+  total_ports : int;
+  intra_ok : int;
+  inter_ok : int;
+  intra_pairs : int;
+  inter_pairs : int;
+  intra_p50_ns : int;
+  inter_p50_ns : int;
+}
+
+val measure : unit -> result
+val run : unit -> result

@@ -1,0 +1,11 @@
+(** E12 (extension) — OpenFlow-meter traffic policing absorbed into the
+    migrated switch. *)
+
+type result = {
+  limited_mbps : float;
+  unlimited_mbps : float;
+  cap_mbps : float;
+}
+
+val measure_run : unit -> result
+val run : unit -> result

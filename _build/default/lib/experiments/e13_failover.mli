@@ -1,0 +1,12 @@
+(** E13 (extension) — trunk failover: outage duration vs watchdog period
+    when the primary trunk dies mid-run. *)
+
+type row = {
+  watchdog_ms : int;
+  gap_ms : float;
+  lost : int;
+  failed_over : bool;
+}
+
+val rows : unit -> row list
+val run : unit -> row list

@@ -1,0 +1,13 @@
+(** E14 (extension) — a reliable TCP transfer through the fabric over
+    increasingly lossy access links: goodput degrades, correctness never. *)
+
+type row = {
+  loss_pct : float;
+  delivered : bool;
+  duration_ms : float;
+  goodput_mbps : float;
+  retransmissions : int;
+}
+
+val rows : unit -> row list
+val run : unit -> row list

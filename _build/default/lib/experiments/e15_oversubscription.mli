@@ -1,0 +1,17 @@
+(** E15 (extension) — the architecture's inherent bottleneck: every
+    HARMLESS packet crosses the trunk twice, so aggregate host throughput
+    is capped by the trunk, not by port count.  This sweeps the host
+    count at GbE line rate each and shows exactly where the 10 G trunk
+    saturates — the engineering fact behind the cost model's
+    "one trunk per 48 access ports" sizing. *)
+
+type row = {
+  hosts : int;
+  offered_gbps : float;
+  delivered_gbps : float;
+  loss : float;
+  trunk_util : float;  (** downstream-direction utilization, 0..1 *)
+}
+
+val rows : unit -> row list
+val run : unit -> row list

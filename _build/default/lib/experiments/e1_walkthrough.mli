@@ -1,0 +1,11 @@
+(** E1 — behavioural reproduction of Fig. 1: the exact packet walk
+    through tag → trunk → SS_1 → SS_2 → hairpin → untag, asserted from a
+    capture of the second (installed-fast-path) ping. *)
+
+type check = { step : string; expected : string; observed : string; ok : bool }
+
+val run_checks : unit -> check list
+(** Build the deployment, run the pings, return one check per Fig. 1 hop. *)
+
+val run : unit -> bool
+(** Print the table; [true] iff every checkpoint matched. *)

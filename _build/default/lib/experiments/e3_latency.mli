@@ -1,0 +1,15 @@
+(** E3 — "no major latency penalty": one-way latency percentiles of
+    timestamped probes under Poisson load, per deployment. *)
+
+type row = {
+  deployment : string;
+  frame : int;
+  load : float;
+  p50_ns : int;
+  p99_ns : int;
+  mean_ns : float;
+  samples : int;
+}
+
+val rows : unit -> row list
+val run : unit -> row list

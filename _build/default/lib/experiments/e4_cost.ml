@@ -1,0 +1,35 @@
+(* E4 — "no substantial price tag": CAPEX per OpenFlow-enabled access
+   port as the deployment grows, for each migration strategy, plus the
+   headline savings figure. *)
+
+let port_counts = [ 8; 16; 24; 48; 96; 144; 192; 384 ]
+
+let rows () = Costmodel.Cost.sweep ~port_counts
+
+let run () =
+  let rows = rows () in
+  Tables.print ~title:"E4: CAPEX per OpenFlow port ($/port)"
+    ~header:
+      [ "ports"; "COTS SDN"; "HARMLESS green"; "HARMLESS brown"; "software-only" ]
+    (List.map
+       (fun (r : Costmodel.Cost.row) ->
+         [
+           string_of_int r.Costmodel.Cost.ports;
+           Tables.f1 r.Costmodel.Cost.cots;
+           Tables.f1 r.Costmodel.Cost.greenfield;
+           Tables.f1 r.Costmodel.Cost.brownfield;
+           Tables.f1 r.Costmodel.Cost.software;
+         ])
+       rows);
+  Printf.printf "\nSavings vs COTS SDN at 48 ports (brownfield): %s\n"
+    (Tables.pct (Costmodel.Cost.savings_vs_cots ~ports:48));
+  (match Costmodel.Cost.crossover_vs_cots ~max_ports:1024 with
+  | Some p -> Printf.printf "Greenfield crossover vs COTS: %d ports\n" p
+  | None ->
+      print_endline
+        "Greenfield crossover vs COTS: none up to 1024 ports (HARMLESS cheaper throughout)");
+  (* An itemized example bill, the way the paper would pitch it. *)
+  Printf.printf "\n%s"
+    (Format.asprintf "%a" Costmodel.Scenario.pp_bill
+       (Costmodel.Scenario.harmless_brownfield ~ports:48));
+  rows

@@ -1,0 +1,6 @@
+(** E4 — "no substantial price tag": $/OpenFlow-port sweeps over the
+    migration strategies, plus the headline savings figure. *)
+
+val port_counts : int list
+val rows : unit -> Costmodel.Cost.row list
+val run : unit -> Costmodel.Cost.row list

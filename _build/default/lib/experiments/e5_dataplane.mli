@@ -1,0 +1,22 @@
+(** E5 — dataplane scaling (the ESwitch property): model cycles/packet
+    and implied single-core rate as the flow table grows, per dataplane
+    and traffic skew. *)
+
+type row = {
+  dataplane : string;
+  rules : int;
+  skew : float;
+  avg_cycles : float;
+  model_mpps : float;
+}
+
+val build_pipeline : int -> Openflow.Pipeline.t
+(** An SS_2-flavoured rule set: [n] exact ip_dst rules + ARP wildcard +
+    drop fence.  Shared with the wall-clock benches. *)
+
+val workload :
+  rng:Simnet.Rng.t -> num_rules:int -> skew:float -> count:int ->
+  Netpkt.Packet.t array
+
+val rows : unit -> row list
+val run : unit -> row list

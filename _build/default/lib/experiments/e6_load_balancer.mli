@@ -1,0 +1,12 @@
+(** E6 — use case (a): the in-network load balancer, measured by
+    per-backend request counts and end-to-end HTTP success. *)
+
+type result = {
+  per_backend : (int * int) list;
+  responses_ok : int;
+  balance_ratio : float;
+}
+
+val requests : int
+val measure : unit -> result
+val run : unit -> result

@@ -1,0 +1,11 @@
+(** E7 — use case (b): the DMZ policy matrix; delivery must match the
+    allow-list exactly. *)
+
+type result = {
+  matrix : (int * int * bool * bool) list;
+  violations : int;
+  false_blocks : int;
+}
+
+val measure : unit -> result
+val run : unit -> result

@@ -1,0 +1,9 @@
+(** E8 — use case (c): per-user web filtering with live block/unblock. *)
+
+type fetch = { who : string; target : string; when_ : string; got_response : bool }
+
+val expected : bool list
+(** The verdicts the five phases must produce. *)
+
+val measure : unit -> fetch list
+val run : unit -> fetch list

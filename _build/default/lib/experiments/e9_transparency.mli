@@ -1,0 +1,5 @@
+(** E9 — data-plane transparency: identical controller programs and
+    workloads on plain OpenFlow vs HARMLESS deliver identical frames. *)
+
+val rows : unit -> (string * Harmless.Transparency.verdict) list
+val run : unit -> (string * Harmless.Transparency.verdict) list

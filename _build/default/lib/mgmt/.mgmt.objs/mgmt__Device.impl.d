@@ -1,0 +1,1 @@
+lib/mgmt/device.ml: Device_config Dialect Engine Ethswitch Fun Hashtbl Legacy_switch List Mib Napalm Netpkt Node Oid Port_config Printf Sim_time Simnet Snmp Stats

@@ -1,0 +1,1 @@
+lib/mgmt/device.mli: Device_config Dialect Ethswitch Napalm Snmp

@@ -1,0 +1,1 @@
+lib/mgmt/device_config.ml: Ethswitch Format Int Legacy_switch List Port_config Printf String

@@ -1,0 +1,1 @@
+lib/mgmt/device_config.mli: Ethswitch

@@ -1,0 +1,1 @@
+lib/mgmt/dialect.ml: Buffer Device_config Ethswitch Hashtbl List Option Port_config Printf String

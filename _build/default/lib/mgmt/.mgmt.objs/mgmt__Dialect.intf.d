@@ -1,0 +1,1 @@
+lib/mgmt/dialect.mli: Device_config

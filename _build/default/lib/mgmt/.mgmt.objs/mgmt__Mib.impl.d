@@ -1,0 +1,1 @@
+lib/mgmt/mib.ml: Format List Oid Option Printf

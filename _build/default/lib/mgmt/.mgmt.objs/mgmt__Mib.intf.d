@@ -1,0 +1,1 @@
+lib/mgmt/mib.mli: Format Oid

@@ -1,0 +1,1 @@
+lib/mgmt/napalm.mli: Format

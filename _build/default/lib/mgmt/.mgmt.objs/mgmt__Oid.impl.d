@@ -1,0 +1,1 @@
+lib/mgmt/oid.ml: Format Int List String

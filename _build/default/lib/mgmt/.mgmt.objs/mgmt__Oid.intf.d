@@ -1,0 +1,1 @@
+lib/mgmt/oid.mli: Format

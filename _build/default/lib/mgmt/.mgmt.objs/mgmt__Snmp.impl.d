@@ -1,0 +1,1 @@
+lib/mgmt/snmp.ml: Format Mib String

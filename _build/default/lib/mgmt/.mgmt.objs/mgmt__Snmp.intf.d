@@ -1,0 +1,1 @@
+lib/mgmt/snmp.mli: Format Mib Oid

@@ -1,0 +1,34 @@
+type facts = {
+  vendor : string;
+  model : string;
+  os_version : string;
+  serial : string;
+  hostname : string;
+  uptime_s : int;
+  interface_count : int;
+}
+
+type interface = {
+  index : int;
+  if_name : string;
+  oper_up : bool;
+  in_packets : int;
+  out_packets : int;
+}
+
+type t = {
+  driver_name : string;
+  get_facts : unit -> facts;
+  get_interfaces : unit -> interface list;
+  get_vlans : unit -> int list;
+  get_config : unit -> string;
+  load_candidate : string -> (unit, string) result;
+  compare_config : unit -> string list;
+  commit : unit -> (unit, string) result;
+  discard : unit -> unit;
+  rollback : unit -> (unit, string) result;
+}
+
+let pp_facts fmt f =
+  Format.fprintf fmt "%s %s (%s %s), serial %s, %d interfaces, up %ds"
+    f.vendor f.model f.hostname f.os_version f.serial f.interface_count f.uptime_s

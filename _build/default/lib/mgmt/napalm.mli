@@ -1,0 +1,44 @@
+(** A NAPALM-like vendor-neutral device-management API.  The HARMLESS
+    Manager programs legacy switches exclusively through this interface,
+    so it works identically against the IOS-like and EOS-like dialects —
+    the vendor-neutrality claim of the paper. *)
+
+type facts = {
+  vendor : string;
+  model : string;
+  os_version : string;
+  serial : string;
+  hostname : string;
+  uptime_s : int;
+  interface_count : int;
+}
+
+type interface = {
+  index : int;          (** 0-based port *)
+  if_name : string;     (** dialect CLI name *)
+  oper_up : bool;
+  in_packets : int;
+  out_packets : int;
+}
+
+(** A connected driver; all operations act on one device. *)
+type t = {
+  driver_name : string;
+  get_facts : unit -> facts;
+  get_interfaces : unit -> interface list;
+  get_vlans : unit -> int list;
+  get_config : unit -> string;
+      (** running config, rendered in the device's dialect *)
+  load_candidate : string -> (unit, string) result;
+      (** stage a full replacement config (dialect text) *)
+  compare_config : unit -> string list;
+      (** differences running → candidate; [] when none or no candidate *)
+  commit : unit -> (unit, string) result;
+      (** apply the candidate; the previous running config is retained
+          for {!rollback} *)
+  discard : unit -> unit;
+  rollback : unit -> (unit, string) result;
+      (** restore the config from before the last commit *)
+}
+
+val pp_facts : Format.formatter -> facts -> unit

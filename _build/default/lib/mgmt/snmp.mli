@@ -1,0 +1,23 @@
+(** An SNMP agent over a {!Mib}: community-authenticated get / set /
+    getnext / walk, with SNMPv2-style error reporting. *)
+
+type error =
+  | Bad_community
+  | No_such_object
+  | Not_writable of string
+  | End_of_mib
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : ?read_community:string -> ?write_community:string -> Mib.t -> t
+(** Defaults: ["public"] / ["private"]. *)
+
+val get : t -> community:string -> Oid.t -> (Mib.value, error) result
+val get_next : t -> community:string -> Oid.t -> (Oid.t * Mib.value, error) result
+val set : t -> community:string -> Oid.t -> Mib.value -> (unit, error) result
+val walk : t -> community:string -> Oid.t -> ((Oid.t * Mib.value) list, error) result
+
+val requests : t -> int
+(** Total operations served (for the manager-workflow experiment). *)

@@ -1,0 +1,1 @@
+lib/netpkt/arp.ml: Format Ipv4_addr Mac_addr Wire

@@ -1,0 +1,1 @@
+lib/netpkt/arp.mli: Format Ipv4_addr Mac_addr

@@ -1,0 +1,1 @@
+lib/netpkt/checksum.ml: Bytes Char Ipv4_addr String

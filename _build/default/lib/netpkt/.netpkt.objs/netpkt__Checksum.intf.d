@@ -1,0 +1,1 @@
+lib/netpkt/checksum.mli: Ipv4_addr

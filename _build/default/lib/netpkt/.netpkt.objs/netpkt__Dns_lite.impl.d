@@ -1,0 +1,1 @@
+lib/netpkt/dns_lite.ml: Char Format Int32 Ipv4_addr List Printf String Wire

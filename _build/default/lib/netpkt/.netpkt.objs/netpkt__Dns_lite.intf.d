@@ -1,0 +1,1 @@
+lib/netpkt/dns_lite.mli: Format Ipv4_addr

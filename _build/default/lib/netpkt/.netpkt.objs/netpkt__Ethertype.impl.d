@@ -1,0 +1,1 @@
+lib/netpkt/ethertype.ml: Format

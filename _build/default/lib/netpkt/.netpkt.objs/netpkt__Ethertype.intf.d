@@ -1,0 +1,1 @@
+lib/netpkt/ethertype.mli: Format

@@ -1,0 +1,1 @@
+lib/netpkt/http_lite.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/netpkt/http_lite.mli:

@@ -1,0 +1,1 @@
+lib/netpkt/icmp.ml: Bytes Char Checksum Format String Wire

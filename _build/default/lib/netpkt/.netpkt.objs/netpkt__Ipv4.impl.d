@@ -1,0 +1,1 @@
+lib/netpkt/ipv4.ml: Checksum Format Icmp Ipv4_addr String Tcp Udp Wire

@@ -1,0 +1,1 @@
+lib/netpkt/ipv4.mli: Format Icmp Ipv4_addr Tcp Udp

@@ -1,0 +1,1 @@
+lib/netpkt/ipv4_addr.ml: Bytes Char Format Hashtbl Int Int32 Printf String

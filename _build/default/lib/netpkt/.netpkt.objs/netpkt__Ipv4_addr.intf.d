@@ -1,0 +1,1 @@
+lib/netpkt/ipv4_addr.mli: Format

@@ -1,0 +1,1 @@
+lib/netpkt/mac_addr.ml: Bytes Char Format Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/netpkt/mac_addr.mli: Format

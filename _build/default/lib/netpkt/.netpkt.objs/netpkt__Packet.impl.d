@@ -1,0 +1,1 @@
+lib/netpkt/packet.ml: Arp Ethertype Format Hashtbl Icmp Ipv4 Ipv4_addr List Mac_addr Option String Tcp Udp Vlan Wire

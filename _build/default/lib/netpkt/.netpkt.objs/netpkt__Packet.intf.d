@@ -1,0 +1,1 @@
+lib/netpkt/packet.mli: Arp Ethertype Format Ipv4 Ipv4_addr Mac_addr Tcp Vlan

@@ -1,0 +1,1 @@
+lib/netpkt/tcp.ml: Checksum Format Int32 List String Wire

@@ -1,0 +1,1 @@
+lib/netpkt/tcp.mli: Format Ipv4_addr

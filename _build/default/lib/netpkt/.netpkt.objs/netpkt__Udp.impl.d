@@ -1,0 +1,1 @@
+lib/netpkt/udp.ml: Checksum Format String Wire

@@ -1,0 +1,1 @@
+lib/netpkt/udp.mli: Format Ipv4_addr

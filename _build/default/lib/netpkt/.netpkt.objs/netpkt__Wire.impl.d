@@ -1,0 +1,1 @@
+lib/netpkt/wire.ml: Buffer Char Int32 String

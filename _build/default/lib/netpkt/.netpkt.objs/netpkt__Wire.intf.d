@@ -1,0 +1,1 @@
+lib/netpkt/wire.mli:

@@ -1,0 +1,65 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sha : Mac_addr.t;
+  spa : Ipv4_addr.t;
+  tha : Mac_addr.t;
+  tpa : Ipv4_addr.t;
+}
+
+let request ~sha ~spa ~tpa = { op = Request; sha; spa; tha = Mac_addr.zero; tpa }
+
+let reply_to req ~sha =
+  { op = Reply; sha; spa = req.tpa; tha = req.sha; tpa = req.spa }
+
+let size = 28
+
+let encode t =
+  let w = Wire.W.create () in
+  Wire.W.u16 w 1 (* htype: ethernet *);
+  Wire.W.u16 w 0x0800 (* ptype: ipv4 *);
+  Wire.W.u8 w 6;
+  Wire.W.u8 w 4;
+  Wire.W.u16 w (match t.op with Request -> 1 | Reply -> 2);
+  Wire.W.bytes w (Mac_addr.to_bytes t.sha);
+  Wire.W.bytes w (Ipv4_addr.to_bytes t.spa);
+  Wire.W.bytes w (Mac_addr.to_bytes t.tha);
+  Wire.W.bytes w (Ipv4_addr.to_bytes t.tpa);
+  Wire.W.contents w
+
+let decode s =
+  let ctx = "arp" in
+  let r = Wire.R.create s in
+  let htype = Wire.R.u16 ~ctx r in
+  let ptype = Wire.R.u16 ~ctx r in
+  let hlen = Wire.R.u8 ~ctx r in
+  let plen = Wire.R.u8 ~ctx r in
+  if htype <> 1 || ptype <> 0x0800 || hlen <> 6 || plen <> 4 then
+    raise (Wire.Malformed "arp: not ipv4-over-ethernet");
+  let op =
+    match Wire.R.u16 ~ctx r with
+    | 1 -> Request
+    | 2 -> Reply
+    | _ -> raise (Wire.Malformed "arp: bad opcode")
+  in
+  let sha = Mac_addr.of_bytes (Wire.R.bytes ~ctx r 6) in
+  let spa = Ipv4_addr.of_bytes (Wire.R.bytes ~ctx r 4) in
+  let tha = Mac_addr.of_bytes (Wire.R.bytes ~ctx r 6) in
+  let tpa = Ipv4_addr.of_bytes (Wire.R.bytes ~ctx r 4) in
+  { op; sha; spa; tha; tpa }
+
+let equal a b =
+  a.op = b.op
+  && Mac_addr.equal a.sha b.sha
+  && Ipv4_addr.equal a.spa b.spa
+  && Mac_addr.equal a.tha b.tha
+  && Ipv4_addr.equal a.tpa b.tpa
+
+let pp fmt t =
+  match t.op with
+  | Request ->
+      Format.fprintf fmt "arp who-has %a tell %a" Ipv4_addr.pp t.tpa
+        Ipv4_addr.pp t.spa
+  | Reply ->
+      Format.fprintf fmt "arp %a is-at %a" Ipv4_addr.pp t.spa Mac_addr.pp t.sha

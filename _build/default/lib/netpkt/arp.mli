@@ -1,0 +1,27 @@
+(** ARP for IPv4 over Ethernet (RFC 826). *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sha : Mac_addr.t;   (** sender hardware address *)
+  spa : Ipv4_addr.t;  (** sender protocol address *)
+  tha : Mac_addr.t;   (** target hardware address (zero in requests) *)
+  tpa : Ipv4_addr.t;  (** target protocol address *)
+}
+
+val request : sha:Mac_addr.t -> spa:Ipv4_addr.t -> tpa:Ipv4_addr.t -> t
+(** A who-has request for [tpa]; the target hardware address is zero. *)
+
+val reply_to : t -> sha:Mac_addr.t -> t
+(** [reply_to req ~sha] answers [req] claiming [req.tpa] is at [sha]. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Wire.Truncated or @raise Wire.Malformed on bad input. *)
+
+val size : int
+(** Encoded size in bytes (28). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+let ones_complement_sum ?(init = 0) s =
+  let n = String.length s in
+  let sum = ref init in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (Char.code s.[n - 1] lsl 8);
+  (* Fold carries back in; two folds suffice for any string length that
+     fits in memory. *)
+  let fold x = (x land 0xffff) + (x lsr 16) in
+  fold (fold !sum)
+
+let finish sum = lnot sum land 0xffff
+let checksum s = finish (ones_complement_sum s)
+let verify s = ones_complement_sum s = 0xffff
+
+let pseudo_header ~src ~dst ~proto ~len =
+  let b = Bytes.create 12 in
+  Bytes.blit_string (Ipv4_addr.to_bytes src) 0 b 0 4;
+  Bytes.blit_string (Ipv4_addr.to_bytes dst) 0 b 4 4;
+  Bytes.set b 8 '\x00';
+  Bytes.set b 9 (Char.chr (proto land 0xff));
+  Bytes.set b 10 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 11 (Char.chr (len land 0xff));
+  Bytes.unsafe_to_string b

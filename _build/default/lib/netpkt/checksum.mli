@@ -1,0 +1,20 @@
+(** RFC 1071 Internet checksum. *)
+
+val ones_complement_sum : ?init:int -> string -> int
+(** 16-bit one's-complement sum of the 16-bit big-endian words of the
+    string (odd trailing byte padded with zero), folded to 16 bits.
+    [init] seeds the accumulator (default 0). *)
+
+val finish : int -> int
+(** One's complement of a folded sum, as the 16-bit checksum field value. *)
+
+val checksum : string -> int
+(** [checksum s] is [finish (ones_complement_sum s)]. *)
+
+val verify : string -> bool
+(** [verify s] is true iff [s], which includes its own checksum field,
+    sums to [0xffff] (i.e. the checksum is valid). *)
+
+val pseudo_header :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> proto:int -> len:int -> string
+(** The IPv4 pseudo-header used by TCP and UDP checksums. *)

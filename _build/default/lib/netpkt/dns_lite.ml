@@ -1,0 +1,143 @@
+type question = { qname : string }
+
+type answer = { name : string; addr : Ipv4_addr.t; ttl : int }
+
+type t = {
+  id : int;
+  response : bool;
+  rcode : int;
+  questions : question list;
+  answers : answer list;
+}
+
+let server_port = 53
+
+let valid_label l =
+  let n = String.length l in
+  n >= 1 && n <= 63
+  && String.for_all (fun c -> Char.code c > 0x20 && Char.code c < 0x7f && c <> '.') l
+
+let valid_name name =
+  name <> "" && List.for_all valid_label (String.split_on_char '.' name)
+
+let query ~id name =
+  if not (valid_name name) then invalid_arg "Dns_lite.query: bad name";
+  { id; response = false; rcode = 0; questions = [ { qname = name } ]; answers = [] }
+
+let respond q ~addrs =
+  let answers =
+    List.filter_map
+      (fun { qname } ->
+        List.find_map
+          (fun (name, addr) ->
+            if String.lowercase_ascii name = String.lowercase_ascii qname then
+              Some { name = qname; addr; ttl = 300 }
+            else None)
+          addrs)
+      q.questions
+  in
+  {
+    q with
+    response = true;
+    rcode = (if answers = [] then 3 (* NXDomain *) else 0);
+    answers;
+  }
+
+let encode_name w name =
+  List.iter
+    (fun label ->
+      Wire.W.u8 w (String.length label);
+      Wire.W.bytes w label)
+    (String.split_on_char '.' name);
+  Wire.W.u8 w 0
+
+let decode_name ~ctx r =
+  let labels = ref [] in
+  let rec loop () =
+    let len = Wire.R.u8 ~ctx r in
+    if len > 63 then raise (Wire.Malformed "dns: label too long (compression unsupported)");
+    if len > 0 then begin
+      labels := Wire.R.bytes ~ctx r len :: !labels;
+      loop ()
+    end
+  in
+  loop ();
+  if !labels = [] then raise (Wire.Malformed "dns: empty name");
+  String.concat "." (List.rev !labels)
+
+let encode t =
+  let w = Wire.W.create () in
+  Wire.W.u16 w t.id;
+  (* flags: QR(15) | RD(8) | RCODE(0-3); recursion desired always set *)
+  Wire.W.u16 w ((if t.response then 0x8000 else 0) lor 0x0100 lor (t.rcode land 0xf));
+  Wire.W.u16 w (List.length t.questions);
+  Wire.W.u16 w (List.length t.answers);
+  Wire.W.u16 w 0 (* authority *);
+  Wire.W.u16 w 0 (* additional *);
+  List.iter
+    (fun { qname } ->
+      encode_name w qname;
+      Wire.W.u16 w 1 (* A *);
+      Wire.W.u16 w 1 (* IN *))
+    t.questions;
+  List.iter
+    (fun { name; addr; ttl } ->
+      encode_name w name;
+      Wire.W.u16 w 1;
+      Wire.W.u16 w 1;
+      Wire.W.u32 w (Int32.of_int ttl);
+      Wire.W.u16 w 4;
+      Wire.W.bytes w (Ipv4_addr.to_bytes addr))
+    t.answers;
+  Wire.W.contents w
+
+let decode s =
+  let ctx = "dns" in
+  let r = Wire.R.create s in
+  let id = Wire.R.u16 ~ctx r in
+  let flags = Wire.R.u16 ~ctx r in
+  let qd = Wire.R.u16 ~ctx r in
+  let an = Wire.R.u16 ~ctx r in
+  let _ns = Wire.R.u16 ~ctx r in
+  let _ar = Wire.R.u16 ~ctx r in
+  let questions =
+    List.init qd (fun _ ->
+        let qname = decode_name ~ctx r in
+        let qtype = Wire.R.u16 ~ctx r in
+        let qclass = Wire.R.u16 ~ctx r in
+        if qtype <> 1 || qclass <> 1 then
+          raise (Wire.Malformed "dns: only A/IN questions supported");
+        { qname })
+  in
+  let answers =
+    List.init an (fun _ ->
+        let name = decode_name ~ctx r in
+        let rtype = Wire.R.u16 ~ctx r in
+        let rclass = Wire.R.u16 ~ctx r in
+        let ttl = Int32.to_int (Wire.R.u32 ~ctx r) in
+        let rdlen = Wire.R.u16 ~ctx r in
+        if rtype <> 1 || rclass <> 1 || rdlen <> 4 then
+          raise (Wire.Malformed "dns: only A/IN answers supported");
+        let addr = Ipv4_addr.of_bytes (Wire.R.bytes ~ctx r 4) in
+        { name; addr; ttl })
+  in
+  {
+    id;
+    response = flags land 0x8000 <> 0;
+    rcode = flags land 0xf;
+    questions;
+    answers;
+  }
+
+let equal a b = a = b
+
+let pp fmt t =
+  if t.response then
+    Format.fprintf fmt "dns response id %d rcode %d:%s" t.id t.rcode
+      (String.concat ""
+         (List.map
+            (fun a -> Printf.sprintf " %s=%s" a.name (Ipv4_addr.to_string a.addr))
+            t.answers))
+  else
+    Format.fprintf fmt "dns query id %d:%s" t.id
+      (String.concat "" (List.map (fun q -> " " ^ q.qname) t.questions))

@@ -1,0 +1,40 @@
+(** A small DNS model: A-record queries and responses with a binary
+    codec (RFC 1035 framing without name compression).  Enough for hosts
+    to resolve names and for the controller to snoop resolutions — the
+    realistic substrate under name-based policies like Parental
+    Control. *)
+
+type question = { qname : string }
+(** Only QTYPE=A, QCLASS=IN are modelled. *)
+
+type answer = { name : string; addr : Ipv4_addr.t; ttl : int }
+
+type t = {
+  id : int;
+  response : bool;
+  rcode : int;  (** 0 = NoError, 3 = NXDomain *)
+  questions : question list;
+  answers : answer list;
+}
+
+val query : id:int -> string -> t
+(** An A query for a name. *)
+
+val respond : t -> addrs:(string * Ipv4_addr.t) list -> t
+(** Answer a query from a zone: names found get A records (TTL 300),
+    none found gives NXDomain. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Wire.Truncated / @raise Wire.Malformed on bad input,
+    including labels longer than 63 bytes or unsupported record types. *)
+
+val valid_name : string -> bool
+(** True iff every dot-separated label is 1-63 bytes of printable ASCII
+    (excluding dots). *)
+
+val server_port : int
+(** 53. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = Ipv4 | Arp | Vlan | Qinq | Unknown of int
+
+let of_int = function
+  | 0x0800 -> Ipv4
+  | 0x0806 -> Arp
+  | 0x8100 -> Vlan
+  | 0x88a8 -> Qinq
+  | n -> Unknown (n land 0xffff)
+
+let to_int = function
+  | Ipv4 -> 0x0800
+  | Arp -> 0x0806
+  | Vlan -> 0x8100
+  | Qinq -> 0x88a8
+  | Unknown n -> n land 0xffff
+
+let equal a b = to_int a = to_int b
+
+let pp fmt = function
+  | Ipv4 -> Format.pp_print_string fmt "ipv4"
+  | Arp -> Format.pp_print_string fmt "arp"
+  | Vlan -> Format.pp_print_string fmt "vlan"
+  | Qinq -> Format.pp_print_string fmt "qinq"
+  | Unknown n -> Format.fprintf fmt "ethertype:0x%04x" n

@@ -1,0 +1,14 @@
+(** EtherType values as they appear after the MAC addresses (and after any
+    VLAN tags) in an Ethernet frame. *)
+
+type t =
+  | Ipv4
+  | Arp
+  | Vlan  (** 802.1Q, TPID [0x8100] *)
+  | Qinq  (** 802.1ad service tag, TPID [0x88a8] *)
+  | Unknown of int
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type t =
+  | Echo_request of { id : int; seq : int; payload : string }
+  | Echo_reply of { id : int; seq : int; payload : string }
+  | Dest_unreachable of { code : int; context : string }
+  | Time_exceeded of { context : string }
+
+let echo_request ?(payload = "") ~id ~seq () = Echo_request { id; seq; payload }
+
+let reply_to = function
+  | Echo_request { id; seq; payload } -> Some (Echo_reply { id; seq; payload })
+  | Echo_reply _ | Dest_unreachable _ | Time_exceeded _ -> None
+
+let encode_body w t =
+  match t with
+  | Echo_request { id; seq; payload } | Echo_reply { id; seq; payload } ->
+      Wire.W.u16 w id;
+      Wire.W.u16 w seq;
+      Wire.W.bytes w payload
+  | Dest_unreachable { code = _; context } | Time_exceeded { context } ->
+      Wire.W.u32 w 0l;
+      Wire.W.bytes w context
+
+let type_code = function
+  | Echo_request _ -> (8, 0)
+  | Echo_reply _ -> (0, 0)
+  | Dest_unreachable { code; _ } -> (3, code)
+  | Time_exceeded _ -> (11, 0)
+
+let encode t =
+  let ty, code = type_code t in
+  let w = Wire.W.create () in
+  Wire.W.u8 w ty;
+  Wire.W.u8 w code;
+  Wire.W.u16 w 0;
+  encode_body w t;
+  let raw = Wire.W.contents w in
+  let csum = Checksum.checksum raw in
+  let b = Bytes.of_string raw in
+  Bytes.set b 2 (Char.chr (csum lsr 8));
+  Bytes.set b 3 (Char.chr (csum land 0xff));
+  Bytes.unsafe_to_string b
+
+let size t = String.length (encode t)
+
+let decode s =
+  let ctx = "icmp" in
+  if not (Checksum.verify s) then raise (Wire.Malformed "icmp: bad checksum");
+  let r = Wire.R.create s in
+  let ty = Wire.R.u8 ~ctx r in
+  let code = Wire.R.u8 ~ctx r in
+  let _csum = Wire.R.u16 ~ctx r in
+  match ty with
+  | 8 | 0 ->
+      let id = Wire.R.u16 ~ctx r in
+      let seq = Wire.R.u16 ~ctx r in
+      let payload = Wire.R.rest r in
+      if ty = 8 then Echo_request { id; seq; payload }
+      else Echo_reply { id; seq; payload }
+  | 3 ->
+      Wire.R.skip ~ctx r 4;
+      Dest_unreachable { code; context = Wire.R.rest r }
+  | 11 ->
+      Wire.R.skip ~ctx r 4;
+      Time_exceeded { context = Wire.R.rest r }
+  | _ -> raise (Wire.Malformed "icmp: unsupported type")
+
+let equal a b =
+  match (a, b) with
+  | Echo_request x, Echo_request y ->
+      x.id = y.id && x.seq = y.seq && String.equal x.payload y.payload
+  | Echo_reply x, Echo_reply y ->
+      x.id = y.id && x.seq = y.seq && String.equal x.payload y.payload
+  | Dest_unreachable x, Dest_unreachable y ->
+      x.code = y.code && String.equal x.context y.context
+  | Time_exceeded x, Time_exceeded y -> String.equal x.context y.context
+  | (Echo_request _ | Echo_reply _ | Dest_unreachable _ | Time_exceeded _), _ ->
+      false
+
+let pp fmt = function
+  | Echo_request { id; seq; _ } -> Format.fprintf fmt "icmp echo-req id %d seq %d" id seq
+  | Echo_reply { id; seq; _ } -> Format.fprintf fmt "icmp echo-rep id %d seq %d" id seq
+  | Dest_unreachable { code; _ } -> Format.fprintf fmt "icmp unreachable code %d" code
+  | Time_exceeded _ -> Format.fprintf fmt "icmp time-exceeded"

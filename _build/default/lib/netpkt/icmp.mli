@@ -1,0 +1,21 @@
+(** ICMP for IPv4 (RFC 792) — the message types the simulator uses. *)
+
+type t =
+  | Echo_request of { id : int; seq : int; payload : string }
+  | Echo_reply of { id : int; seq : int; payload : string }
+  | Dest_unreachable of { code : int; context : string }
+      (** [context] carries the leading bytes of the offending datagram. *)
+  | Time_exceeded of { context : string }
+
+val echo_request : ?payload:string -> id:int -> seq:int -> unit -> t
+val reply_to : t -> t option
+(** [reply_to (Echo_request _)] is the matching reply; [None] otherwise. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Wire.Truncated / @raise Wire.Malformed on bad input (including
+    checksum failure and unsupported types). *)
+
+val size : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

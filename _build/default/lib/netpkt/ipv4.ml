@@ -1,0 +1,128 @@
+type payload =
+  | Tcp of Tcp.t
+  | Udp of Udp.t
+  | Icmp of Icmp.t
+  | Raw of int * string
+
+type t = {
+  tos : int;
+  ident : int;
+  dont_frag : bool;
+  ttl : int;
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  payload : payload;
+}
+
+let make ?(tos = 0) ?(ident = 0) ?(dont_frag = true) ?(ttl = 64) ~src ~dst
+    payload =
+  if tos < 0 || tos > 255 then invalid_arg "Ipv4.make: bad tos";
+  if ttl < 0 || ttl > 255 then invalid_arg "Ipv4.make: bad ttl";
+  if ident < 0 || ident > 0xffff then invalid_arg "Ipv4.make: bad ident";
+  { tos; ident; dont_frag; ttl; src; dst; payload }
+
+let protocol_number = function
+  | Tcp _ -> 6
+  | Udp _ -> 17
+  | Icmp _ -> 1
+  | Raw (p, _) -> p land 0xff
+
+let header_size = 20
+
+let payload_bytes t =
+  match t.payload with
+  | Tcp seg -> Tcp.encode ~src:t.src ~dst:t.dst seg
+  | Udp dgram -> Udp.encode ~src:t.src ~dst:t.dst dgram
+  | Icmp msg -> Icmp.encode msg
+  | Raw (_, bytes) -> bytes
+
+let payload_size = function
+  | Tcp seg -> Tcp.size seg
+  | Udp dgram -> Udp.size dgram
+  | Icmp msg -> Icmp.size msg
+  | Raw (_, bytes) -> String.length bytes
+
+let size t = header_size + payload_size t.payload
+
+let decrement_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let encode_header t ~total_len ~csum =
+  let w = Wire.W.create () in
+  Wire.W.u8 w 0x45 (* version 4, IHL 5 *);
+  Wire.W.u8 w t.tos;
+  Wire.W.u16 w total_len;
+  Wire.W.u16 w t.ident;
+  Wire.W.u16 w (if t.dont_frag then 0x4000 else 0);
+  Wire.W.u8 w t.ttl;
+  Wire.W.u8 w (protocol_number t.payload);
+  Wire.W.u16 w csum;
+  Wire.W.bytes w (Ipv4_addr.to_bytes t.src);
+  Wire.W.bytes w (Ipv4_addr.to_bytes t.dst);
+  Wire.W.contents w
+
+let encode t =
+  let body = payload_bytes t in
+  let total_len = header_size + String.length body in
+  if total_len > 0xffff then invalid_arg "Ipv4.encode: datagram too large";
+  let unchecked = encode_header t ~total_len ~csum:0 in
+  let csum = Checksum.checksum unchecked in
+  encode_header t ~total_len ~csum ^ body
+
+let decode s =
+  let ctx = "ipv4" in
+  let r = Wire.R.create s in
+  let vihl = Wire.R.u8 ~ctx r in
+  if vihl lsr 4 <> 4 then raise (Wire.Malformed "ipv4: bad version");
+  let ihl = (vihl land 0xf) * 4 in
+  if ihl < header_size then raise (Wire.Malformed "ipv4: bad ihl");
+  let tos = Wire.R.u8 ~ctx r in
+  let total_len = Wire.R.u16 ~ctx r in
+  if total_len < ihl || total_len > String.length s then
+    raise (Wire.Malformed "ipv4: bad total length");
+  let ident = Wire.R.u16 ~ctx r in
+  let frag = Wire.R.u16 ~ctx r in
+  if frag land 0x2000 <> 0 || frag land 0x1fff <> 0 then
+    raise (Wire.Malformed "ipv4: fragments not supported");
+  let dont_frag = frag land 0x4000 <> 0 in
+  let ttl = Wire.R.u8 ~ctx r in
+  let proto = Wire.R.u8 ~ctx r in
+  let _csum = Wire.R.u16 ~ctx r in
+  let src = Ipv4_addr.of_bytes (Wire.R.bytes ~ctx r 4) in
+  let dst = Ipv4_addr.of_bytes (Wire.R.bytes ~ctx r 4) in
+  if not (Checksum.verify (String.sub s 0 ihl)) then
+    raise (Wire.Malformed "ipv4: bad header checksum");
+  Wire.R.skip ~ctx r (ihl - header_size);
+  let body = String.sub s ihl (total_len - ihl) in
+  let payload =
+    match proto with
+    | 6 -> Tcp (Tcp.decode ~src ~dst body)
+    | 17 -> Udp (Udp.decode ~src ~dst body)
+    | 1 -> Icmp (Icmp.decode body)
+    | p -> Raw (p, body)
+  in
+  { tos; ident; dont_frag; ttl; src; dst; payload }
+
+let equal_payload a b =
+  match (a, b) with
+  | Tcp x, Tcp y -> Tcp.equal x y
+  | Udp x, Udp y -> Udp.equal x y
+  | Icmp x, Icmp y -> Icmp.equal x y
+  | Raw (p, x), Raw (q, y) -> p = q && String.equal x y
+  | (Tcp _ | Udp _ | Icmp _ | Raw _), _ -> false
+
+let equal a b =
+  a.tos = b.tos && a.ident = b.ident && a.dont_frag = b.dont_frag
+  && a.ttl = b.ttl
+  && Ipv4_addr.equal a.src b.src
+  && Ipv4_addr.equal a.dst b.dst
+  && equal_payload a.payload b.payload
+
+let pp_payload fmt = function
+  | Tcp seg -> Tcp.pp fmt seg
+  | Udp dgram -> Udp.pp fmt dgram
+  | Icmp msg -> Icmp.pp fmt msg
+  | Raw (p, bytes) -> Format.fprintf fmt "proto %d len %d" p (String.length bytes)
+
+let pp fmt t =
+  Format.fprintf fmt "%a > %a ttl %d: %a" Ipv4_addr.pp t.src Ipv4_addr.pp
+    t.dst t.ttl pp_payload t.payload

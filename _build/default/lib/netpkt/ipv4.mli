@@ -1,0 +1,53 @@
+(** IPv4 datagrams (RFC 791) carrying a typed transport payload.
+
+    Fragmentation is modelled only as far as the DF bit: the simulator's
+    links enforce MTU by dropping and (optionally) signalling ICMP, the
+    common datacenter behaviour, rather than fragmenting. *)
+
+type payload =
+  | Tcp of Tcp.t
+  | Udp of Udp.t
+  | Icmp of Icmp.t
+  | Raw of int * string
+      (** [Raw (proto, bytes)] for protocols the library does not model. *)
+
+type t = {
+  tos : int;         (** DSCP/ECN byte *)
+  ident : int;
+  dont_frag : bool;
+  ttl : int;
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  payload : payload;
+}
+
+val make :
+  ?tos:int ->
+  ?ident:int ->
+  ?dont_frag:bool ->
+  ?ttl:int ->
+  src:Ipv4_addr.t ->
+  dst:Ipv4_addr.t ->
+  payload ->
+  t
+(** Defaults: [tos = 0], [ident = 0], [dont_frag = true], [ttl = 64]. *)
+
+val protocol_number : payload -> int
+(** 6 for TCP, 17 for UDP, 1 for ICMP, or the raw protocol number. *)
+
+val header_size : int
+(** 20 bytes (options are not modelled). *)
+
+val size : t -> int
+(** Total datagram length. *)
+
+val decrement_ttl : t -> t option
+(** [None] when the TTL would reach zero. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Wire.Truncated / @raise Wire.Malformed on bad input, including
+    header-checksum failure. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

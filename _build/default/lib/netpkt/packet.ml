@@ -1,0 +1,225 @@
+type l3 =
+  | Ip of Ipv4.t
+  | Arp of Arp.t
+  | Raw of Ethertype.t * string
+
+type t = {
+  dst : Mac_addr.t;
+  src : Mac_addr.t;
+  vlans : Vlan.t list;
+  l3 : l3;
+}
+
+let make ?(vlans = []) ~dst ~src l3 = { dst; src; vlans; l3 }
+
+let ethertype t =
+  match t.l3 with
+  | Ip _ -> Ethertype.Ipv4
+  | Arp _ -> Ethertype.Arp
+  | Raw (ty, _) -> ty
+
+let push_vlan tag t = { t with vlans = tag :: t.vlans }
+
+let pop_vlan t =
+  match t.vlans with
+  | [] -> None
+  | tag :: rest -> Some (tag, { t with vlans = rest })
+
+let outer_vid t =
+  match t.vlans with [] -> None | tag :: _ -> Some tag.Vlan.vid
+
+let set_outer_vid vid t =
+  match t.vlans with
+  | [] -> invalid_arg "Packet.set_outer_vid: untagged frame"
+  | tag :: rest -> { t with vlans = { tag with Vlan.vid } :: rest }
+
+let payload_size t =
+  match t.l3 with
+  | Ip ip -> Ipv4.size ip
+  | Arp _ -> Arp.size
+  | Raw (_, bytes) -> String.length bytes
+
+let size t = 14 + (4 * List.length t.vlans) + payload_size t
+
+let wire_size t = max 60 (size t) + 4
+
+let l3_bytes = function
+  | Ip ip -> Ipv4.encode ip
+  | Arp arp -> Arp.encode arp
+  | Raw (_, bytes) -> bytes
+
+let encode t =
+  let w = Wire.W.create () in
+  Wire.W.bytes w (Mac_addr.to_bytes t.dst);
+  Wire.W.bytes w (Mac_addr.to_bytes t.src);
+  List.iter
+    (fun tag ->
+      Wire.W.u16 w (Ethertype.to_int Ethertype.Vlan);
+      Wire.W.u16 w (Vlan.tci tag))
+    t.vlans;
+  Wire.W.u16 w (Ethertype.to_int (ethertype t));
+  Wire.W.bytes w (l3_bytes t.l3);
+  Wire.W.contents w
+
+let decode s =
+  let ctx = "ethernet" in
+  let r = Wire.R.create s in
+  let dst = Mac_addr.of_bytes (Wire.R.bytes ~ctx r 6) in
+  let src = Mac_addr.of_bytes (Wire.R.bytes ~ctx r 6) in
+  let rec read_tags acc =
+    let ety = Ethertype.of_int (Wire.R.u16 ~ctx r) in
+    match ety with
+    | Ethertype.Vlan | Ethertype.Qinq ->
+        let tag = Vlan.of_tci (Wire.R.u16 ~ctx r) in
+        read_tags (tag :: acc)
+    | Ethertype.Ipv4 | Ethertype.Arp | Ethertype.Unknown _ -> (List.rev acc, ety)
+  in
+  let vlans, inner = read_tags [] in
+  let body = Wire.R.rest r in
+  let l3 =
+    match inner with
+    | Ethertype.Ipv4 -> Ip (Ipv4.decode body)
+    | Ethertype.Arp -> Arp (Arp.decode body)
+    | (Ethertype.Unknown _ | Ethertype.Vlan | Ethertype.Qinq) as ty -> Raw (ty, body)
+  in
+  { dst; src; vlans; l3 }
+
+let equal_l3 a b =
+  match (a, b) with
+  | Ip x, Ip y -> Ipv4.equal x y
+  | Arp x, Arp y -> Arp.equal x y
+  | Raw (tx, x), Raw (ty, y) -> Ethertype.equal tx ty && String.equal x y
+  | (Ip _ | Arp _ | Raw _), _ -> false
+
+let equal a b =
+  Mac_addr.equal a.dst b.dst
+  && Mac_addr.equal a.src b.src
+  && List.length a.vlans = List.length b.vlans
+  && List.for_all2 Vlan.equal a.vlans b.vlans
+  && equal_l3 a.l3 b.l3
+
+let pp_l3 fmt = function
+  | Ip ip -> Ipv4.pp fmt ip
+  | Arp arp -> Arp.pp fmt arp
+  | Raw (ty, bytes) -> Format.fprintf fmt "%a len %d" Ethertype.pp ty (String.length bytes)
+
+let pp fmt t =
+  Format.fprintf fmt "%a > %a%a %a" Mac_addr.pp t.src Mac_addr.pp t.dst
+    (fun fmt tags ->
+      List.iter (fun tag -> Format.fprintf fmt " [%a]" Vlan.pp tag) tags)
+    t.vlans pp_l3 t.l3
+
+module Fields = struct
+  type packet = t
+
+  type t = {
+    eth_dst : Mac_addr.t;
+    eth_src : Mac_addr.t;
+    eth_type : int;
+    vlan_vid : int option;
+    vlan_pcp : int option;
+    ip_src : Ipv4_addr.t option;
+    ip_dst : Ipv4_addr.t option;
+    ip_proto : int option;
+    ip_tos : int option;
+    l4_src : int option;
+    l4_dst : int option;
+  }
+
+  let of_packet (p : packet) =
+    let vlan_vid, vlan_pcp =
+      match p.vlans with
+      | [] -> (None, None)
+      | tag :: _ -> (Some tag.Vlan.vid, Some tag.Vlan.pcp)
+    in
+    let ip_src, ip_dst, ip_proto, ip_tos, l4_src, l4_dst =
+      match p.l3 with
+      | Ip ip ->
+          let l4s, l4d =
+            match ip.Ipv4.payload with
+            | Ipv4.Tcp seg -> (Some seg.Tcp.src_port, Some seg.Tcp.dst_port)
+            | Ipv4.Udp dgram -> (Some dgram.Udp.src_port, Some dgram.Udp.dst_port)
+            | Ipv4.Icmp _ | Ipv4.Raw _ -> (None, None)
+          in
+          ( Some ip.Ipv4.src,
+            Some ip.Ipv4.dst,
+            Some (Ipv4.protocol_number ip.Ipv4.payload),
+            Some ip.Ipv4.tos,
+            l4s,
+            l4d )
+      | Arp _ | Raw _ -> (None, None, None, None, None, None)
+    in
+    {
+      eth_dst = p.dst;
+      eth_src = p.src;
+      eth_type = Ethertype.to_int (ethertype p);
+      vlan_vid;
+      vlan_pcp;
+      ip_src;
+      ip_dst;
+      ip_proto;
+      ip_tos;
+      l4_src;
+      l4_dst;
+    }
+
+  let equal a b =
+    Mac_addr.equal a.eth_dst b.eth_dst
+    && Mac_addr.equal a.eth_src b.eth_src
+    && a.eth_type = b.eth_type && a.vlan_vid = b.vlan_vid
+    && a.vlan_pcp = b.vlan_pcp
+    && Option.equal Ipv4_addr.equal a.ip_src b.ip_src
+    && Option.equal Ipv4_addr.equal a.ip_dst b.ip_dst
+    && a.ip_proto = b.ip_proto && a.ip_tos = b.ip_tos && a.l4_src = b.l4_src
+    && a.l4_dst = b.l4_dst
+
+  let hash = Hashtbl.hash
+
+  let pp_opt pp_v fmt = function
+    | None -> Format.pp_print_string fmt "*"
+    | Some v -> pp_v fmt v
+
+  let pp fmt t =
+    Format.fprintf fmt
+      "{dst=%a src=%a ety=0x%04x vid=%a ip=%a>%a proto=%a l4=%a>%a}"
+      Mac_addr.pp t.eth_dst Mac_addr.pp t.eth_src t.eth_type
+      (pp_opt Format.pp_print_int) t.vlan_vid
+      (pp_opt Ipv4_addr.pp) t.ip_src (pp_opt Ipv4_addr.pp) t.ip_dst
+      (pp_opt Format.pp_print_int) t.ip_proto
+      (pp_opt Format.pp_print_int) t.l4_src
+      (pp_opt Format.pp_print_int) t.l4_dst
+end
+
+let udp ?vlans ~dst ~src ~ip_src ~ip_dst ~src_port ~dst_port payload =
+  let dgram = Udp.make ~src_port ~dst_port payload in
+  make ?vlans ~dst ~src (Ip (Ipv4.make ~src:ip_src ~dst:ip_dst (Ipv4.Udp dgram)))
+
+let tcp ?vlans ?flags ~dst ~src ~ip_src ~ip_dst ~src_port ~dst_port payload =
+  let seg = Tcp.make ~src_port ~dst_port ?flags payload in
+  make ?vlans ~dst ~src (Ip (Ipv4.make ~src:ip_src ~dst:ip_dst (Ipv4.Tcp seg)))
+
+let icmp_echo ~dst ~src ~ip_src ~ip_dst ~id ~seq =
+  let msg = Icmp.echo_request ~id ~seq () in
+  make ~dst ~src (Ip (Ipv4.make ~src:ip_src ~dst:ip_dst (Ipv4.Icmp msg)))
+
+let arp_request ~src_mac ~src_ip ~target_ip =
+  make ~dst:Mac_addr.broadcast ~src:src_mac
+    (Arp (Arp.request ~sha:src_mac ~spa:src_ip ~tpa:target_ip))
+
+let pad_to n t =
+  (* The frame body must reach [n - 4] bytes (FCS excluded) for the wire
+     size to reach [n]; the 60-byte floor cannot help once n >= 64. *)
+  let deficit = n - 4 - size t in
+  if deficit <= 0 then t
+  else
+    let grow payload = payload ^ String.make deficit '\x00' in
+    match t.l3 with
+    | Ip ip -> (
+        match ip.Ipv4.payload with
+        | Ipv4.Udp dgram ->
+            { t with l3 = Ip { ip with Ipv4.payload = Ipv4.Udp { dgram with Udp.payload = grow dgram.Udp.payload } } }
+        | Ipv4.Tcp seg ->
+            { t with l3 = Ip { ip with Ipv4.payload = Ipv4.Tcp { seg with Tcp.payload = grow seg.Tcp.payload } } }
+        | Ipv4.Icmp _ | Ipv4.Raw _ -> t)
+    | Raw (ty, bytes) -> { t with l3 = Raw (ty, grow bytes) }
+    | Arp _ -> t

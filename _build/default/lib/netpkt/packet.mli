@@ -1,0 +1,104 @@
+(** Full Ethernet frames: MAC header, a stack of 802.1Q tags, and a typed
+    network-layer payload.  This is the unit every dataplane in the
+    repository forwards. *)
+
+type l3 =
+  | Ip of Ipv4.t
+  | Arp of Arp.t
+  | Raw of Ethertype.t * string
+      (** Payload of a frame type the library does not model. *)
+
+type t = {
+  dst : Mac_addr.t;
+  src : Mac_addr.t;
+  vlans : Vlan.t list;  (** outermost tag first *)
+  l3 : l3;
+}
+
+val make : ?vlans:Vlan.t list -> dst:Mac_addr.t -> src:Mac_addr.t -> l3 -> t
+
+val ethertype : t -> Ethertype.t
+(** The {e inner} EtherType, i.e. the type of [l3], regardless of tags. *)
+
+val push_vlan : Vlan.t -> t -> t
+(** Prepend a tag (becomes the outermost). *)
+
+val pop_vlan : t -> (Vlan.t * t) option
+(** Remove the outermost tag; [None] if untagged. *)
+
+val outer_vid : t -> Vlan.vid option
+(** VLAN id of the outermost tag, if any. *)
+
+val set_outer_vid : Vlan.vid -> t -> t
+(** Rewrite the outermost tag's VLAN id.
+    @raise Invalid_argument if the frame is untagged. *)
+
+val payload_size : t -> int
+(** Size of everything after the MAC/VLAN headers. *)
+
+val size : t -> int
+(** Logical frame size: headers + payload, without padding or FCS. *)
+
+val wire_size : t -> int
+(** On-the-wire size used for serialization-delay computations: logical
+    size padded to the 60-byte Ethernet minimum, plus the 4-byte FCS. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Wire.Truncated / @raise Wire.Malformed on bad input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Flattened header-field view used by flow matching and caches. *)
+module Fields : sig
+  type packet := t
+
+  type t = {
+    eth_dst : Mac_addr.t;
+    eth_src : Mac_addr.t;
+    eth_type : int;              (** inner EtherType *)
+    vlan_vid : int option;       (** outermost tag *)
+    vlan_pcp : int option;
+    ip_src : Ipv4_addr.t option;
+    ip_dst : Ipv4_addr.t option;
+    ip_proto : int option;
+    ip_tos : int option;
+    l4_src : int option;
+    l4_dst : int option;
+  }
+
+  val of_packet : packet -> t
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Convenience constructors used by tests, examples and workloads. *)
+val udp :
+  ?vlans:Vlan.t list ->
+  dst:Mac_addr.t -> src:Mac_addr.t ->
+  ip_src:Ipv4_addr.t -> ip_dst:Ipv4_addr.t ->
+  src_port:int -> dst_port:int ->
+  string -> t
+
+val tcp :
+  ?vlans:Vlan.t list ->
+  ?flags:Tcp.flags ->
+  dst:Mac_addr.t -> src:Mac_addr.t ->
+  ip_src:Ipv4_addr.t -> ip_dst:Ipv4_addr.t ->
+  src_port:int -> dst_port:int ->
+  string -> t
+
+val icmp_echo :
+  dst:Mac_addr.t -> src:Mac_addr.t ->
+  ip_src:Ipv4_addr.t -> ip_dst:Ipv4_addr.t ->
+  id:int -> seq:int -> t
+
+val arp_request :
+  src_mac:Mac_addr.t -> src_ip:Ipv4_addr.t -> target_ip:Ipv4_addr.t -> t
+
+val pad_to : int -> t -> t
+(** [pad_to n pkt] grows an UDP/TCP/Raw payload so that {!wire_size}
+    reaches at least [n] bytes (used by workload generators to hit exact
+    frame sizes).  Frames already at least [n] bytes are unchanged. *)

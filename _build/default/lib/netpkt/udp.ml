@@ -1,0 +1,60 @@
+type t = { src_port : int; dst_port : int; payload : string }
+
+let check_port p = p >= 0 && p <= 0xffff
+
+let make ~src_port ~dst_port payload =
+  if not (check_port src_port && check_port dst_port) then
+    invalid_arg "Udp.make: bad port";
+  { src_port; dst_port; payload }
+
+let header_size = 8
+let size t = header_size + String.length t.payload
+
+let encode_with_checksum t csum =
+  let w = Wire.W.create () in
+  Wire.W.u16 w t.src_port;
+  Wire.W.u16 w t.dst_port;
+  Wire.W.u16 w (size t);
+  Wire.W.u16 w csum;
+  Wire.W.bytes w t.payload;
+  Wire.W.contents w
+
+let encode ~src ~dst t =
+  let len = size t in
+  let pseudo = Checksum.pseudo_header ~src ~dst ~proto:17 ~len in
+  let zeroed = encode_with_checksum t 0 in
+  let sum = Checksum.ones_complement_sum ~init:(Checksum.ones_complement_sum pseudo) zeroed in
+  let csum =
+    (* An all-zero UDP checksum means "not computed"; RFC 768 transmits
+       0xffff instead when the computed value is zero. *)
+    match Checksum.finish sum with 0 -> 0xffff | c -> c
+  in
+  encode_with_checksum t csum
+
+let decode ~src ~dst s =
+  let ctx = "udp" in
+  let r = Wire.R.create s in
+  let src_port = Wire.R.u16 ~ctx r in
+  let dst_port = Wire.R.u16 ~ctx r in
+  let len = Wire.R.u16 ~ctx r in
+  let csum = Wire.R.u16 ~ctx r in
+  if len < header_size || len > String.length s then
+    raise (Wire.Malformed "udp: bad length");
+  let payload = Wire.R.bytes ~ctx r (len - header_size) in
+  (if csum <> 0 then
+     let pseudo = Checksum.pseudo_header ~src ~dst ~proto:17 ~len in
+     let sum =
+       Checksum.ones_complement_sum
+         ~init:(Checksum.ones_complement_sum pseudo)
+         (String.sub s 0 len)
+     in
+     if sum land 0xffff <> 0xffff then raise (Wire.Malformed "udp: bad checksum"));
+  { src_port; dst_port; payload }
+
+let equal a b =
+  a.src_port = b.src_port && a.dst_port = b.dst_port
+  && String.equal a.payload b.payload
+
+let pp fmt t =
+  Format.fprintf fmt "udp %d > %d len %d" t.src_port t.dst_port
+    (String.length t.payload)

@@ -1,0 +1,22 @@
+(** UDP datagrams (RFC 768). *)
+
+type t = { src_port : int; dst_port : int; payload : string }
+
+val make : src_port:int -> dst_port:int -> string -> t
+(** @raise Invalid_argument if a port is outside [0, 65535]. *)
+
+val header_size : int
+(** 8 bytes. *)
+
+val size : t -> int
+(** Header plus payload. *)
+
+val encode : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> t -> string
+(** Encodes with the checksum computed over the IPv4 pseudo-header. *)
+
+val decode : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> string -> t
+(** @raise Wire.Truncated on short input.
+    @raise Wire.Malformed on bad length field or checksum. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type vid = int
+type t = { pcp : int; dei : bool; vid : vid }
+
+let valid_vid vid = vid >= 1 && vid <= 4094
+
+let make ?(pcp = 0) ?(dei = false) vid =
+  if vid < 0 || vid > 4095 then invalid_arg "Vlan.make: vid out of range";
+  if pcp < 0 || pcp > 7 then invalid_arg "Vlan.make: pcp out of range";
+  { pcp; dei; vid }
+
+let tci t = (t.pcp lsl 13) lor (if t.dei then 0x1000 else 0) lor t.vid
+
+let of_tci n =
+  { pcp = (n lsr 13) land 7; dei = n land 0x1000 <> 0; vid = n land 0xfff }
+
+let equal a b = a.pcp = b.pcp && a.dei = b.dei && a.vid = b.vid
+
+let pp fmt t =
+  if t.pcp = 0 && not t.dei then Format.fprintf fmt "vlan %d" t.vid
+  else Format.fprintf fmt "vlan %d (pcp %d%s)" t.vid t.pcp
+         (if t.dei then ", dei" else "")

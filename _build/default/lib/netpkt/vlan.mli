@@ -1,0 +1,26 @@
+(** 802.1Q VLAN tags.
+
+    A tag on the wire is TPID (2 bytes, handled by {!Packet}) followed by
+    the TCI encoded here: 3 bits of priority (PCP), 1 drop-eligible bit
+    (DEI) and a 12-bit VLAN id. *)
+
+type vid = int
+(** VLAN identifier, valid range [1, 4094] for traffic-carrying VLANs
+    (0 = priority tag, 4095 reserved). *)
+
+type t = { pcp : int; dei : bool; vid : vid }
+
+val make : ?pcp:int -> ?dei:bool -> vid -> t
+(** @raise Invalid_argument if [vid] is outside [0, 4095] or [pcp] outside
+    [0, 7]. *)
+
+val valid_vid : vid -> bool
+(** True iff [vid] is in [1, 4094]. *)
+
+val tci : t -> int
+(** 16-bit TCI encoding. *)
+
+val of_tci : int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+exception Truncated of string
+exception Malformed of string
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u32 t v =
+    let v = Int32.to_int (Int32.logand v 0xffffffffl) land 0xffffffff in
+    Buffer.add_char t (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char t (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char t (Char.chr (v land 0xff))
+
+  let bytes t s = Buffer.add_string t s
+  let length = Buffer.length
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  let create ?(pos = 0) s = { s; pos }
+  let pos t = t.pos
+  let remaining t = String.length t.s - t.pos
+
+  let need ~ctx t n = if remaining t < n then raise (Truncated ctx)
+
+  let u8 ~ctx t =
+    need ~ctx t 1;
+    let v = Char.code t.s.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 ~ctx t =
+    need ~ctx t 2;
+    let v = (Char.code t.s.[t.pos] lsl 8) lor Char.code t.s.[t.pos + 1] in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 ~ctx t =
+    need ~ctx t 4;
+    let b i = Char.code t.s.[t.pos + i] in
+    let v =
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (b 0)) 24)
+        (Int32.of_int ((b 1 lsl 16) lor (b 2 lsl 8) lor b 3))
+    in
+    t.pos <- t.pos + 4;
+    v
+
+  let bytes ~ctx t n =
+    need ~ctx t n;
+    let v = String.sub t.s t.pos n in
+    t.pos <- t.pos + n;
+    v
+
+  let rest t =
+    let v = String.sub t.s t.pos (remaining t) in
+    t.pos <- String.length t.s;
+    v
+
+  let skip ~ctx t n =
+    need ~ctx t n;
+    t.pos <- t.pos + n
+end

@@ -1,0 +1,40 @@
+(** Big-endian wire-format readers and writers used by all header codecs. *)
+
+exception Truncated of string
+(** Raised by readers when the input is shorter than the format requires.
+    The payload names the decoder that failed. *)
+
+exception Malformed of string
+(** Raised by decoders on structurally invalid input (bad version field,
+    impossible length, ...). *)
+
+(** Append-only big-endian writer. *)
+module W : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val bytes : t -> string -> unit
+  val length : t -> int
+  val contents : t -> string
+end
+
+(** Cursor-based big-endian reader over a string. *)
+module R : sig
+  type t
+
+  val create : ?pos:int -> string -> t
+  val pos : t -> int
+  val remaining : t -> int
+
+  val u8 : ctx:string -> t -> int
+  val u16 : ctx:string -> t -> int
+  val u32 : ctx:string -> t -> int32
+  val bytes : ctx:string -> t -> int -> string
+  val rest : t -> string
+  (** All bytes from the cursor to the end; advances to the end. *)
+
+  val skip : ctx:string -> t -> int -> unit
+end

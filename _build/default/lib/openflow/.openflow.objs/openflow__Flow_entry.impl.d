@@ -1,0 +1,1 @@
+lib/openflow/flow_entry.ml: Format List Of_action Of_match Stdlib

@@ -1,0 +1,1 @@
+lib/openflow/flow_table.ml: Flow_entry Format List Of_action Of_match

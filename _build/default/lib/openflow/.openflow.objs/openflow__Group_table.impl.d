@@ -1,0 +1,1 @@
+lib/openflow/group_table.ml: Hashtbl List Of_action Stdlib

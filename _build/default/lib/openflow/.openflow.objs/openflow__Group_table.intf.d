@@ -1,0 +1,1 @@
+lib/openflow/group_table.mli: Of_action

@@ -1,0 +1,1 @@
+lib/openflow/meter_table.ml: Float Hashtbl Option

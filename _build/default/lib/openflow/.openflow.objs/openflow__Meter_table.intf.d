@@ -1,0 +1,1 @@
+lib/openflow/meter_table.mli:

@@ -1,0 +1,1 @@
+lib/openflow/of_action.ml: Format Ipv4 Ipv4_addr Mac_addr Netpkt Packet Tcp Udp Vlan

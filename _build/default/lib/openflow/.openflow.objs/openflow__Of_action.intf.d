@@ -1,0 +1,1 @@
+lib/openflow/of_action.mli: Format Netpkt

@@ -1,0 +1,1 @@
+lib/openflow/of_codec.ml: Flow_entry Group_table Int32 Int64 Ipv4_addr List Mac_addr Meter_table Netpkt Of_action Of_match Of_message Option Packet Printf String Wire

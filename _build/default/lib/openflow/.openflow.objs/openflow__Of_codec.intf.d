@@ -1,0 +1,1 @@
+lib/openflow/of_codec.mli: Of_message

@@ -1,0 +1,1 @@
+lib/openflow/of_match.ml: Format Hashtbl Int64 Ipv4_addr List Mac_addr Netpkt Option Packet Printf Stdlib String

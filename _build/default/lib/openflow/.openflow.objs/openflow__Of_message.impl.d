@@ -1,0 +1,1 @@
+lib/openflow/of_message.ml: Flow_entry Format Group_table List Meter_table Netpkt Of_action Of_match

@@ -1,0 +1,1 @@
+lib/openflow/of_message.mli: Flow_entry Format Group_table Meter_table Netpkt Of_action Of_match

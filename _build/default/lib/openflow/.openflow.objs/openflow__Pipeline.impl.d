@@ -1,0 +1,1 @@
+lib/openflow/pipeline.ml: Array Flow_entry Flow_table Group_table Hashtbl List Meter_table Netpkt Of_action Packet

@@ -1,0 +1,1 @@
+lib/openflow/pipeline.mli: Flow_entry Flow_table Group_table Meter_table Netpkt

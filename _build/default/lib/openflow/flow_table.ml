@@ -1,0 +1,119 @@
+type t = {
+  mutable entries : Flow_entry.t list; (* priority-descending, stable *)
+  max_entries : int;
+  mutable lookups : int;
+  mutable version : int;
+}
+
+exception Table_full
+
+let create ?(max_entries = 100_000) () =
+  if max_entries <= 0 then invalid_arg "Flow_table.create: max_entries <= 0";
+  { entries = []; max_entries; lookups = 0; version = 0 }
+
+let bump t = t.version <- t.version + 1
+
+(* Insert preserving priority-descending order; FIFO among equal
+   priorities so lookup ties are stable. *)
+let rec insert entry = function
+  | [] -> [ entry ]
+  | e :: rest as all ->
+      if e.Flow_entry.priority < entry.Flow_entry.priority then entry :: all
+      else e :: insert entry rest
+
+let add t ~now_ns entry =
+  let replacing e =
+    e.Flow_entry.priority = entry.Flow_entry.priority
+    && Of_match.is_exact_overlap e.Flow_entry.match_ entry.Flow_entry.match_
+  in
+  let remaining = List.filter (fun e -> not (replacing e)) t.entries in
+  if List.length remaining >= t.max_entries then raise Table_full;
+  entry.Flow_entry.installed_at_ns <- now_ns;
+  entry.Flow_entry.last_used_ns <- now_ns;
+  t.entries <- insert entry remaining;
+  bump t
+
+let selected ~strict match_ ~priority e =
+  if strict then
+    e.Flow_entry.priority = priority
+    && Of_match.is_exact_overlap e.Flow_entry.match_ match_
+  else Of_match.subsumes match_ e.Flow_entry.match_
+
+let modify t ~strict match_ ~priority instructions =
+  let changed = ref 0 in
+  t.entries <-
+    List.map
+      (fun e ->
+        if selected ~strict match_ ~priority e then begin
+          incr changed;
+          { e with Flow_entry.instructions }
+        end
+        else e)
+      t.entries;
+  if !changed > 0 then bump t;
+  !changed
+
+let outputs_to_port port e =
+  List.exists
+    (function
+      | Of_action.Output (Of_action.Physical p) -> p = port
+      | Of_action.Output
+          (Of_action.In_port | Of_action.Flood | Of_action.All | Of_action.Controller _)
+      | Of_action.Group _ | Of_action.Push_vlan | Of_action.Pop_vlan
+      | Of_action.Set_vlan_vid _ | Of_action.Set_vlan_pcp _
+      | Of_action.Set_eth_src _ | Of_action.Set_eth_dst _
+      | Of_action.Set_ip_src _ | Of_action.Set_ip_dst _ | Of_action.Set_ip_tos _
+      | Of_action.Set_l4_src _ | Of_action.Set_l4_dst _ | Of_action.Drop -> false)
+    (Flow_entry.actions e)
+
+let delete t ~strict ?out_port match_ ~priority =
+  let doomed e =
+    selected ~strict match_ ~priority e
+    && match out_port with None -> true | Some p -> outputs_to_port p e
+  in
+  let before = List.length t.entries in
+  t.entries <- List.filter (fun e -> not (doomed e)) t.entries;
+  let removed = before - List.length t.entries in
+  if removed > 0 then bump t;
+  removed
+
+let clear t =
+  if t.entries <> [] then begin
+    t.entries <- [];
+    bump t
+  end
+
+let lookup t ~in_port fields =
+  t.lookups <- t.lookups + 1;
+  List.find_opt (fun e -> Of_match.matches e.Flow_entry.match_ ~in_port fields) t.entries
+
+let lookup_scan t ~in_port fields =
+  t.lookups <- t.lookups + 1;
+  let rec scan n = function
+    | [] -> (None, n)
+    | e :: rest ->
+        if Of_match.matches e.Flow_entry.match_ ~in_port fields then (Some e, n + 1)
+        else scan (n + 1) rest
+  in
+  scan 0 t.entries
+
+let hit _t ~now_ns ~bytes entry = Flow_entry.touch entry ~now_ns ~bytes
+
+let expire t ~now_ns =
+  let expired, live =
+    List.partition (fun e -> Flow_entry.expired e ~now_ns) t.entries
+  in
+  if expired <> [] then begin
+    t.entries <- live;
+    bump t
+  end;
+  expired
+
+let size t = List.length t.entries
+let entries t = t.entries
+let lookups t = t.lookups
+let version t = t.version
+
+let pp fmt t =
+  Format.fprintf fmt "flow table (%d entries):@." (size t);
+  List.iter (fun e -> Format.fprintf fmt "  %a@." Flow_entry.pp e) t.entries

@@ -1,0 +1,41 @@
+(** OpenFlow actions: where packets go and how their headers are
+    rewritten on the way. *)
+
+(** Targets an [Output] action can name. *)
+type out_port =
+  | Physical of int
+  | In_port        (** hairpin out of the ingress port *)
+  | Flood          (** all ports except the ingress *)
+  | All            (** all ports including the ingress *)
+  | Controller of int  (** send to controller, truncated to [n] bytes (0 = full) *)
+
+type t =
+  | Output of out_port
+  | Group of int
+  | Push_vlan              (** push an empty 802.1Q tag (VID 0) *)
+  | Pop_vlan
+  | Set_vlan_vid of int    (** requires a tag to be present *)
+  | Set_vlan_pcp of int
+  | Set_eth_src of Netpkt.Mac_addr.t
+  | Set_eth_dst of Netpkt.Mac_addr.t
+  | Set_ip_src of Netpkt.Ipv4_addr.t
+  | Set_ip_dst of Netpkt.Ipv4_addr.t
+  | Set_ip_tos of int
+  | Set_l4_src of int
+  | Set_l4_dst of int
+  | Drop
+      (** explicit drop: clears the action set (OpenFlow expresses this as
+          an empty action list; a constructor makes intent visible) *)
+
+val output : int -> t
+(** [output n] is [Output (Physical n)]. *)
+
+val apply_rewrite : t -> Netpkt.Packet.t -> Netpkt.Packet.t
+(** Apply a header-rewrite action.  Output/Group/Drop leave the packet
+    unchanged; rewrites that do not apply (e.g. [Set_l4_src] on an ARP
+    frame, [Set_vlan_vid] on an untagged frame) are no-ops, matching
+    OpenFlow's "do nothing on prerequisite failure" behaviour. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

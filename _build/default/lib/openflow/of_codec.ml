@@ -1,0 +1,879 @@
+open Netpkt
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* ---- primitive helpers on top of Netpkt.Wire ---- *)
+
+let w_u64 w v =
+  Wire.W.u32 w (Int64.to_int32 (Int64.shift_right_logical v 32));
+  Wire.W.u32 w (Int64.to_int32 v)
+
+let r_u64 ~ctx r =
+  let hi = Wire.R.u32 ~ctx r and lo = Wire.R.u32 ~ctx r in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int32 hi) 32)
+    (Int64.logand (Int64.of_int32 lo) 0xffffffffL)
+
+let pad w n = for _ = 1 to n do Wire.W.u8 w 0 done
+let skip ~ctx r n = Wire.R.skip ~ctx r n
+
+let pad_to_8 w start =
+  let len = Wire.W.length w - start in
+  pad w ((8 - (len mod 8)) mod 8)
+
+(* Wrap reads of structure-with-length: returns a sub-reader. *)
+let sub_reader ~ctx r len = Wire.R.create (Wire.R.bytes ~ctx r len)
+
+(* ---- special port numbers ---- *)
+
+let ofpp_in_port = 0xfffffff8l
+let ofpp_all = 0xfffffffcl
+let ofpp_flood = 0xfffffffbl
+let ofpp_controller = 0xfffffffdl
+let ofpp_any = 0xffffffffl
+
+(* ---- OXM ---- *)
+
+let oxm_class = 0x8000
+
+(* field ids per OpenFlow 1.3 *)
+let fld_in_port = 0
+let fld_eth_dst = 3
+let fld_eth_src = 4
+let fld_eth_type = 5
+let fld_vlan_vid = 6
+let fld_vlan_pcp = 7
+let fld_ip_dscp = 8
+let fld_ip_proto = 10
+let fld_ipv4_src = 11
+let fld_ipv4_dst = 12
+let fld_tcp_src = 13
+let fld_tcp_dst = 14
+
+let oxm_header w ~field ~hasmask ~len =
+  Wire.W.u16 w oxm_class;
+  Wire.W.u8 w ((field lsl 1) lor (if hasmask then 1 else 0));
+  Wire.W.u8 w len
+
+let oxm_u8 w field v =
+  oxm_header w ~field ~hasmask:false ~len:1;
+  Wire.W.u8 w v
+
+let oxm_u16 w field v =
+  oxm_header w ~field ~hasmask:false ~len:2;
+  Wire.W.u16 w v
+
+let oxm_u32 w field v =
+  oxm_header w ~field ~hasmask:false ~len:4;
+  Wire.W.u32 w v
+
+let oxm_mac w field ?mask mac =
+  match mask with
+  | None ->
+      oxm_header w ~field ~hasmask:false ~len:6;
+      Wire.W.bytes w (Mac_addr.to_bytes mac)
+  | Some m ->
+      oxm_header w ~field ~hasmask:true ~len:12;
+      Wire.W.bytes w (Mac_addr.to_bytes mac);
+      Wire.W.bytes w (Mac_addr.to_bytes m)
+
+let oxm_prefix w field p =
+  let len = Ipv4_addr.Prefix.length p in
+  if len = 32 then begin
+    oxm_header w ~field ~hasmask:false ~len:4;
+    Wire.W.bytes w (Ipv4_addr.to_bytes (Ipv4_addr.Prefix.base p))
+  end
+  else begin
+    oxm_header w ~field ~hasmask:true ~len:8;
+    Wire.W.bytes w (Ipv4_addr.to_bytes (Ipv4_addr.Prefix.base p));
+    Wire.W.bytes w (Ipv4_addr.to_bytes (Ipv4_addr.Prefix.mask p))
+  end
+
+let ofpvid_present = 0x1000
+
+let encode_oxms w (m : Of_match.t) =
+  Option.iter (fun p -> oxm_u32 w fld_in_port (Int32.of_int p)) m.Of_match.in_port;
+  Option.iter
+    (fun (t : Of_match.mac_test) ->
+      if Mac_addr.equal t.Of_match.mask Mac_addr.broadcast then
+        oxm_mac w fld_eth_dst t.Of_match.value
+      else oxm_mac w fld_eth_dst ~mask:t.Of_match.mask t.Of_match.value)
+    m.Of_match.eth_dst;
+  Option.iter
+    (fun (t : Of_match.mac_test) ->
+      if Mac_addr.equal t.Of_match.mask Mac_addr.broadcast then
+        oxm_mac w fld_eth_src t.Of_match.value
+      else oxm_mac w fld_eth_src ~mask:t.Of_match.mask t.Of_match.value)
+    m.Of_match.eth_src;
+  Option.iter (fun ty -> oxm_u16 w fld_eth_type ty) m.Of_match.eth_type;
+  Option.iter
+    (fun v ->
+      match v with
+      | Of_match.Absent -> oxm_u16 w fld_vlan_vid 0
+      | Of_match.Present ->
+          oxm_header w ~field:fld_vlan_vid ~hasmask:true ~len:4;
+          Wire.W.u16 w ofpvid_present;
+          Wire.W.u16 w ofpvid_present
+      | Of_match.Vid vid -> oxm_u16 w fld_vlan_vid (ofpvid_present lor vid))
+    m.Of_match.vlan;
+  Option.iter (fun p -> oxm_u8 w fld_vlan_pcp p) m.Of_match.vlan_pcp;
+  Option.iter (fun v -> oxm_u8 w fld_ip_dscp v) m.Of_match.ip_tos;
+  Option.iter (fun p -> oxm_u8 w fld_ip_proto p) m.Of_match.ip_proto;
+  Option.iter (fun p -> oxm_prefix w fld_ipv4_src p) m.Of_match.ip_src;
+  Option.iter (fun p -> oxm_prefix w fld_ipv4_dst p) m.Of_match.ip_dst;
+  Option.iter (fun p -> oxm_u16 w fld_tcp_src p) m.Of_match.l4_src;
+  Option.iter (fun p -> oxm_u16 w fld_tcp_dst p) m.Of_match.l4_dst
+
+let encode_match w (m : Of_match.t) =
+  let start = Wire.W.length w in
+  Wire.W.u16 w 1 (* OFPMT_OXM *);
+  (* Buffers cannot backpatch, so build the OXM payload separately. *)
+  let oxms = Wire.W.create () in
+  encode_oxms oxms m;
+  let body = Wire.W.contents oxms in
+  Wire.W.u16 w (4 + String.length body);
+  Wire.W.bytes w body;
+  pad_to_8 w start
+
+let prefix_of_mask ~field base mask =
+  let m = Int32.to_int (Ipv4_addr.to_int32 (Ipv4_addr.of_bytes mask)) land 0xffffffff in
+  (* Count leading ones; must be contiguous. *)
+  let rec count i =
+    if i >= 32 then 32
+    else if m land (1 lsl (31 - i)) <> 0 then count (i + 1)
+    else i
+  in
+  let len = count 0 in
+  let expected = if len = 0 then 0 else 0xffffffff lsl (32 - len) land 0xffffffff in
+  if m <> expected then fail "oxm field %d: non-contiguous ipv4 mask" field;
+  Ipv4_addr.Prefix.make (Ipv4_addr.of_bytes base) len
+
+let decode_match r =
+  let ctx = "of_match" in
+  let start = Wire.R.pos r in
+  let typ = Wire.R.u16 ~ctx r in
+  if typ <> 1 then fail "match: unsupported type %d" typ;
+  let total = Wire.R.u16 ~ctx r in
+  if total < 4 then fail "match: bad length %d" total;
+  let oxms = sub_reader ~ctx r (total - 4) in
+  let m = ref Of_match.any in
+  while Wire.R.remaining oxms > 0 do
+    let klass = Wire.R.u16 ~ctx oxms in
+    if klass <> oxm_class then fail "oxm: unsupported class 0x%04x" klass;
+    let fh = Wire.R.u8 ~ctx oxms in
+    let field = fh lsr 1 and hasmask = fh land 1 = 1 in
+    let len = Wire.R.u8 ~ctx oxms in
+    let payload = Wire.R.bytes ~ctx oxms len in
+    let pr = Wire.R.create payload in
+    let u8 () = Wire.R.u8 ~ctx pr in
+    let u16 () = Wire.R.u16 ~ctx pr in
+    let u32 () = Wire.R.u32 ~ctx pr in
+    let bytes n = Wire.R.bytes ~ctx pr n in
+    let cur = !m in
+    m :=
+      (match field with
+      | f when f = fld_in_port -> { cur with Of_match.in_port = Some (Int32.to_int (u32 ())) }
+      | f when f = fld_eth_dst ->
+          let value = Mac_addr.of_bytes (bytes 6) in
+          let mask = if hasmask then Mac_addr.of_bytes (bytes 6) else Mac_addr.broadcast in
+          { cur with Of_match.eth_dst = Some { Of_match.value; mask } }
+      | f when f = fld_eth_src ->
+          let value = Mac_addr.of_bytes (bytes 6) in
+          let mask = if hasmask then Mac_addr.of_bytes (bytes 6) else Mac_addr.broadcast in
+          { cur with Of_match.eth_src = Some { Of_match.value; mask } }
+      | f when f = fld_eth_type -> { cur with Of_match.eth_type = Some (u16 ()) }
+      | f when f = fld_vlan_vid ->
+          let value = u16 () in
+          if hasmask then begin
+            let mask = u16 () in
+            if value = ofpvid_present && mask = ofpvid_present then
+              { cur with Of_match.vlan = Some Of_match.Present }
+            else fail "oxm vlan_vid: unsupported mask 0x%04x/0x%04x" value mask
+          end
+          else if value = 0 then { cur with Of_match.vlan = Some Of_match.Absent }
+          else if value land ofpvid_present <> 0 then
+            { cur with Of_match.vlan = Some (Of_match.Vid (value land 0xfff)) }
+          else fail "oxm vlan_vid: bad value 0x%04x" value
+      | f when f = fld_vlan_pcp -> { cur with Of_match.vlan_pcp = Some (u8 ()) }
+      | f when f = fld_ip_dscp -> { cur with Of_match.ip_tos = Some (u8 ()) }
+      | f when f = fld_ip_proto -> { cur with Of_match.ip_proto = Some (u8 ()) }
+      | f when f = fld_ipv4_src ->
+          let base = bytes 4 in
+          let prefix =
+            if hasmask then prefix_of_mask ~field base (bytes 4)
+            else Ipv4_addr.Prefix.make (Ipv4_addr.of_bytes base) 32
+          in
+          { cur with Of_match.ip_src = Some prefix }
+      | f when f = fld_ipv4_dst ->
+          let base = bytes 4 in
+          let prefix =
+            if hasmask then prefix_of_mask ~field base (bytes 4)
+            else Ipv4_addr.Prefix.make (Ipv4_addr.of_bytes base) 32
+          in
+          { cur with Of_match.ip_dst = Some prefix }
+      | f when f = fld_tcp_src -> { cur with Of_match.l4_src = Some (u16 ()) }
+      | f when f = fld_tcp_dst -> { cur with Of_match.l4_dst = Some (u16 ()) }
+      | f -> fail "oxm: unsupported field %d" f)
+  done;
+  (* consume the padding up to 8-byte alignment *)
+  let consumed = Wire.R.pos r - start in
+  skip ~ctx r ((8 - (consumed mod 8)) mod 8);
+  !m
+
+(* ---- actions ---- *)
+
+let experimenter_drop = 0x48415254l (* "HART" *)
+
+let encode_set_field w oxm_writer =
+  let oxms = Wire.W.create () in
+  oxm_writer oxms;
+  let body = Wire.W.contents oxms in
+  let raw_len = 4 + String.length body in
+  let padded = (raw_len + 7) / 8 * 8 in
+  Wire.W.u16 w 25 (* OFPAT_SET_FIELD *);
+  Wire.W.u16 w padded;
+  Wire.W.bytes w body;
+  pad w (padded - raw_len)
+
+let encode_action w (a : Of_action.t) =
+  match a with
+  | Of_action.Output target ->
+      Wire.W.u16 w 0;
+      Wire.W.u16 w 16;
+      let port, max_len =
+        match target with
+        | Of_action.Physical p -> (Int32.of_int p, 0)
+        | Of_action.In_port -> (ofpp_in_port, 0)
+        | Of_action.All -> (ofpp_all, 0)
+        | Of_action.Flood -> (ofpp_flood, 0)
+        | Of_action.Controller n -> (ofpp_controller, n)
+      in
+      Wire.W.u32 w port;
+      Wire.W.u16 w max_len;
+      pad w 6
+  | Of_action.Group gid ->
+      Wire.W.u16 w 22;
+      Wire.W.u16 w 8;
+      Wire.W.u32 w (Int32.of_int gid)
+  | Of_action.Push_vlan ->
+      Wire.W.u16 w 17;
+      Wire.W.u16 w 8;
+      Wire.W.u16 w 0x8100;
+      pad w 2
+  | Of_action.Pop_vlan ->
+      Wire.W.u16 w 18;
+      Wire.W.u16 w 8;
+      pad w 4
+  | Of_action.Set_vlan_vid v ->
+      encode_set_field w (fun o -> oxm_u16 o fld_vlan_vid (ofpvid_present lor v))
+  | Of_action.Set_vlan_pcp p -> encode_set_field w (fun o -> oxm_u8 o fld_vlan_pcp p)
+  | Of_action.Set_eth_src mac -> encode_set_field w (fun o -> oxm_mac o fld_eth_src mac)
+  | Of_action.Set_eth_dst mac -> encode_set_field w (fun o -> oxm_mac o fld_eth_dst mac)
+  | Of_action.Set_ip_src ip ->
+      encode_set_field w (fun o -> oxm_prefix o fld_ipv4_src (Ipv4_addr.Prefix.make ip 32))
+  | Of_action.Set_ip_dst ip ->
+      encode_set_field w (fun o -> oxm_prefix o fld_ipv4_dst (Ipv4_addr.Prefix.make ip 32))
+  | Of_action.Set_ip_tos v -> encode_set_field w (fun o -> oxm_u8 o fld_ip_dscp v)
+  | Of_action.Set_l4_src p -> encode_set_field w (fun o -> oxm_u16 o fld_tcp_src p)
+  | Of_action.Set_l4_dst p -> encode_set_field w (fun o -> oxm_u16 o fld_tcp_dst p)
+  | Of_action.Drop ->
+      (* no wire form in OpenFlow; carried as an experimenter action *)
+      Wire.W.u16 w 0xffff;
+      Wire.W.u16 w 8;
+      Wire.W.u32 w experimenter_drop
+
+let encode_actions w actions = List.iter (encode_action w) actions
+
+let decode_set_field pr =
+  let ctx = "set_field" in
+  let klass = Wire.R.u16 ~ctx pr in
+  if klass <> oxm_class then fail "set_field: bad class";
+  let fh = Wire.R.u8 ~ctx pr in
+  let field = fh lsr 1 in
+  let _len = Wire.R.u8 ~ctx pr in
+  match field with
+  | f when f = fld_vlan_vid ->
+      Of_action.Set_vlan_vid (Wire.R.u16 ~ctx pr land 0xfff)
+  | f when f = fld_vlan_pcp -> Of_action.Set_vlan_pcp (Wire.R.u8 ~ctx pr)
+  | f when f = fld_eth_src -> Of_action.Set_eth_src (Mac_addr.of_bytes (Wire.R.bytes ~ctx pr 6))
+  | f when f = fld_eth_dst -> Of_action.Set_eth_dst (Mac_addr.of_bytes (Wire.R.bytes ~ctx pr 6))
+  | f when f = fld_ipv4_src -> Of_action.Set_ip_src (Ipv4_addr.of_bytes (Wire.R.bytes ~ctx pr 4))
+  | f when f = fld_ipv4_dst -> Of_action.Set_ip_dst (Ipv4_addr.of_bytes (Wire.R.bytes ~ctx pr 4))
+  | f when f = fld_ip_dscp -> Of_action.Set_ip_tos (Wire.R.u8 ~ctx pr)
+  | f when f = fld_tcp_src -> Of_action.Set_l4_src (Wire.R.u16 ~ctx pr)
+  | f when f = fld_tcp_dst -> Of_action.Set_l4_dst (Wire.R.u16 ~ctx pr)
+  | f -> fail "set_field: unsupported field %d" f
+
+let decode_action r =
+  let ctx = "of_action" in
+  let typ = Wire.R.u16 ~ctx r in
+  let len = Wire.R.u16 ~ctx r in
+  if len < 4 then fail "action: bad length %d" len;
+  let pr = sub_reader ~ctx r (len - 4) in
+  match typ with
+  | 0 ->
+      let port = Wire.R.u32 ~ctx pr in
+      let max_len = Wire.R.u16 ~ctx pr in
+      let target =
+        if Int32.equal port ofpp_in_port then Of_action.In_port
+        else if Int32.equal port ofpp_all then Of_action.All
+        else if Int32.equal port ofpp_flood then Of_action.Flood
+        else if Int32.equal port ofpp_controller then Of_action.Controller max_len
+        else Of_action.Physical (Int32.to_int port)
+      in
+      Of_action.Output target
+  | 22 -> Of_action.Group (Int32.to_int (Wire.R.u32 ~ctx pr))
+  | 17 -> Of_action.Push_vlan
+  | 18 -> Of_action.Pop_vlan
+  | 25 -> decode_set_field pr
+  | 0xffff ->
+      let experimenter = Wire.R.u32 ~ctx pr in
+      if Int32.equal experimenter experimenter_drop then Of_action.Drop
+      else fail "action: unknown experimenter 0x%08lx" experimenter
+  | t -> fail "action: unsupported type %d" t
+
+let decode_actions r =
+  let actions = ref [] in
+  while Wire.R.remaining r > 0 do
+    actions := decode_action r :: !actions
+  done;
+  List.rev !actions
+
+(* ---- instructions ---- *)
+
+let encode_instruction w (i : Flow_entry.instruction) =
+  match i with
+  | Flow_entry.Goto_table n ->
+      Wire.W.u16 w 1;
+      Wire.W.u16 w 8;
+      Wire.W.u8 w n;
+      pad w 3
+  | Flow_entry.Write_actions actions | Flow_entry.Apply_actions actions ->
+      let body = Wire.W.create () in
+      encode_actions body actions;
+      let s = Wire.W.contents body in
+      Wire.W.u16 w (match i with Flow_entry.Write_actions _ -> 3 | _ -> 4);
+      Wire.W.u16 w (8 + String.length s);
+      pad w 4;
+      Wire.W.bytes w s
+  | Flow_entry.Clear_actions ->
+      Wire.W.u16 w 5;
+      Wire.W.u16 w 8;
+      pad w 4
+  | Flow_entry.Meter id ->
+      Wire.W.u16 w 6;
+      Wire.W.u16 w 8;
+      Wire.W.u32 w (Int32.of_int id)
+
+let decode_instruction r =
+  let ctx = "instruction" in
+  let typ = Wire.R.u16 ~ctx r in
+  let len = Wire.R.u16 ~ctx r in
+  if len < 4 then fail "instruction: bad length";
+  let pr = sub_reader ~ctx r (len - 4) in
+  match typ with
+  | 1 -> Flow_entry.Goto_table (Wire.R.u8 ~ctx pr)
+  | 3 | 4 ->
+      skip ~ctx pr 4;
+      let actions = decode_actions pr in
+      if typ = 3 then Flow_entry.Write_actions actions
+      else Flow_entry.Apply_actions actions
+  | 5 -> Flow_entry.Clear_actions
+  | 6 -> Flow_entry.Meter (Int32.to_int (Wire.R.u32 ~ctx pr))
+  | t -> fail "instruction: unsupported type %d" t
+
+let decode_instructions r =
+  let instructions = ref [] in
+  while Wire.R.remaining r > 0 do
+    instructions := decode_instruction r :: !instructions
+  done;
+  List.rev !instructions
+
+(* ---- message bodies ---- *)
+
+let message_type_code (m : Of_message.t) =
+  match m with
+  | Of_message.Hello -> 0
+  | Of_message.Error _ -> 1
+  | Of_message.Echo_request _ -> 2
+  | Of_message.Echo_reply _ -> 3
+  | Of_message.Features_request -> 5
+  | Of_message.Features_reply _ -> 6
+  | Of_message.Packet_in _ -> 10
+  | Of_message.Packet_out _ -> 13
+  | Of_message.Flow_mod _ -> 14
+  | Of_message.Group_mod _ -> 15
+  | Of_message.Port_status _ -> 12
+  | Of_message.Flow_stats_request _ | Of_message.Port_stats_request -> 18
+  | Of_message.Flow_stats_reply _ | Of_message.Port_stats_reply _ -> 19
+  | Of_message.Barrier_request _ -> 20
+  | Of_message.Barrier_reply _ -> 21
+  | Of_message.Meter_mod _ -> 29
+
+let flow_mod_command_code = function
+  | Of_message.Add -> 0
+  | Of_message.Modify { strict = false } -> 1
+  | Of_message.Modify { strict = true } -> 2
+  | Of_message.Delete { strict = false } -> 3
+  | Of_message.Delete { strict = true } -> 4
+
+let encode_body w (m : Of_message.t) =
+  match m with
+  | Of_message.Hello | Of_message.Features_request -> ()
+  | Of_message.Echo_request s | Of_message.Echo_reply s -> Wire.W.bytes w s
+  | Of_message.Error msg ->
+      Wire.W.u16 w 0xffff;
+      Wire.W.u16 w 0;
+      Wire.W.bytes w msg
+  | Of_message.Features_reply { datapath_id; num_ports; num_tables } ->
+      w_u64 w datapath_id;
+      Wire.W.u32 w 0l (* n_buffers *);
+      Wire.W.u8 w num_tables;
+      Wire.W.u8 w 0 (* auxiliary_id *);
+      pad w 2;
+      Wire.W.u32 w 0l (* capabilities *);
+      (* OF1.3 moved ports to multipart; we carry the count in the
+         reserved word so the typed layer round-trips. *)
+      Wire.W.u32 w (Int32.of_int num_ports)
+  | Of_message.Barrier_request n | Of_message.Barrier_reply n ->
+      Wire.W.u32 w (Int32.of_int n)
+  | Of_message.Flow_mod fm ->
+      w_u64 w fm.Of_message.cookie;
+      w_u64 w 0L (* cookie mask *);
+      Wire.W.u8 w fm.Of_message.table_id;
+      Wire.W.u8 w (flow_mod_command_code fm.Of_message.command);
+      Wire.W.u16 w (Option.value fm.Of_message.idle_timeout_s ~default:0);
+      Wire.W.u16 w (Option.value fm.Of_message.hard_timeout_s ~default:0);
+      Wire.W.u16 w fm.Of_message.priority;
+      Wire.W.u32 w 0xffffffffl (* buffer id: none *);
+      Wire.W.u32 w
+        (match fm.Of_message.out_port with
+        | Some p -> Int32.of_int p
+        | None -> ofpp_any);
+      Wire.W.u32 w 0xffffffffl (* out group: any *);
+      Wire.W.u16 w 0 (* flags *);
+      pad w 2;
+      encode_match w fm.Of_message.match_;
+      List.iter (encode_instruction w) fm.Of_message.instructions
+  | Of_message.Group_mod gm ->
+      let command, id, gtype, buckets =
+        match gm with
+        | Of_message.Add_group { id; gtype; buckets } -> (0, id, gtype, buckets)
+        | Of_message.Modify_group { id; gtype; buckets } -> (1, id, gtype, buckets)
+        | Of_message.Delete_group { id } -> (2, id, Group_table.All, [])
+      in
+      Wire.W.u16 w command;
+      Wire.W.u8 w
+        (match gtype with
+        | Group_table.All -> 0
+        | Group_table.Select -> 1
+        | Group_table.Indirect -> 2);
+      pad w 1;
+      Wire.W.u32 w (Int32.of_int id);
+      List.iter
+        (fun (b : Group_table.bucket) ->
+          let body = Wire.W.create () in
+          encode_actions body b.Group_table.actions;
+          let s = Wire.W.contents body in
+          Wire.W.u16 w (16 + String.length s);
+          Wire.W.u16 w b.Group_table.weight;
+          Wire.W.u32 w ofpp_any (* watch port *);
+          Wire.W.u32 w 0xffffffffl (* watch group *);
+          pad w 4;
+          Wire.W.bytes w s)
+        buckets
+  | Of_message.Meter_mod mm ->
+      let command, id, band =
+        match mm with
+        | Of_message.Add_meter { id; band } -> (0, id, Some band)
+        | Of_message.Modify_meter { id; band } -> (1, id, Some band)
+        | Of_message.Delete_meter { id } -> (2, id, None)
+      in
+      Wire.W.u16 w command;
+      Wire.W.u16 w 0b101 (* flags: KBPS | BURST *);
+      Wire.W.u32 w (Int32.of_int id);
+      Option.iter
+        (fun (b : Meter_table.band) ->
+          Wire.W.u16 w 1 (* OFPMBT_DROP *);
+          Wire.W.u16 w 16;
+          Wire.W.u32 w (Int32.of_int b.Meter_table.rate_kbps);
+          Wire.W.u32 w (Int32.of_int (b.Meter_table.burst_kb * 8)) (* kbits *);
+          pad w 4)
+        band
+  | Of_message.Port_status { port_no; up } ->
+      Wire.W.u8 w (if up then 2 (* modify *) else 1 (* delete-ish: down *));
+      pad w 7;
+      Wire.W.u32 w (Int32.of_int port_no);
+      (* simplified ofp_port tail: config + state; state bit 0 = link down *)
+      Wire.W.u32 w 0l;
+      Wire.W.u32 w (if up then 0l else 1l)
+  | Of_message.Packet_in { in_port; reason; packet } ->
+      let data = Packet.encode packet in
+      Wire.W.u32 w 0xffffffffl (* buffer id: none *);
+      Wire.W.u16 w (String.length data);
+      Wire.W.u8 w
+        (match reason with
+        | Of_message.No_match -> 0
+        | Of_message.Action_to_controller -> 1);
+      Wire.W.u8 w 0 (* table id *);
+      w_u64 w 0L (* cookie *);
+      let ingress = in_port in
+      encode_match w Of_match.(any |> in_port ingress);
+      pad w 2;
+      Wire.W.bytes w data
+  | Of_message.Packet_out { in_port; actions; packet } ->
+      let acts = Wire.W.create () in
+      encode_actions acts actions;
+      let acts = Wire.W.contents acts in
+      Wire.W.u32 w 0xffffffffl (* buffer id: none *);
+      Wire.W.u32 w
+        (match in_port with Some p -> Int32.of_int p | None -> ofpp_controller);
+      Wire.W.u16 w (String.length acts);
+      pad w 6;
+      Wire.W.bytes w acts;
+      Wire.W.bytes w (Packet.encode packet)
+  | Of_message.Flow_stats_request { table_id } ->
+      Wire.W.u16 w 1 (* OFPMP_FLOW *);
+      Wire.W.u16 w 0;
+      pad w 4;
+      Wire.W.u8 w (Option.value table_id ~default:0xff);
+      pad w 3;
+      Wire.W.u32 w ofpp_any;
+      Wire.W.u32 w 0xffffffffl;
+      pad w 4;
+      w_u64 w 0L;
+      w_u64 w 0L;
+      encode_match w Of_match.any
+  | Of_message.Port_stats_request ->
+      Wire.W.u16 w 4 (* OFPMP_PORT_STATS *);
+      Wire.W.u16 w 0;
+      pad w 4;
+      Wire.W.u32 w ofpp_any;
+      pad w 4
+  | Of_message.Flow_stats_reply stats ->
+      Wire.W.u16 w 1;
+      Wire.W.u16 w 0;
+      pad w 4;
+      List.iter
+        (fun (s : Of_message.flow_stat) ->
+          let entry = Wire.W.create () in
+          Wire.W.u8 entry s.Of_message.stat_table_id;
+          pad entry 1;
+          Wire.W.u32 entry 0l (* duration sec *);
+          Wire.W.u32 entry 0l (* duration nsec *);
+          Wire.W.u16 entry s.Of_message.stat_priority;
+          Wire.W.u16 entry 0 (* idle *);
+          Wire.W.u16 entry 0 (* hard *);
+          Wire.W.u16 entry 0 (* flags *);
+          pad entry 4;
+          w_u64 entry 0L (* cookie *);
+          w_u64 entry (Int64.of_int s.Of_message.stat_packets);
+          w_u64 entry (Int64.of_int s.Of_message.stat_bytes);
+          encode_match entry s.Of_message.stat_match;
+          let body = Wire.W.contents entry in
+          Wire.W.u16 w (2 + String.length body);
+          Wire.W.bytes w body)
+        stats
+  | Of_message.Port_stats_reply stats ->
+      Wire.W.u16 w 4;
+      Wire.W.u16 w 0;
+      pad w 4;
+      List.iter
+        (fun (s : Of_message.port_stat) ->
+          Wire.W.u32 w (Int32.of_int s.Of_message.port_no);
+          pad w 4;
+          w_u64 w (Int64.of_int s.Of_message.rx_packets);
+          w_u64 w (Int64.of_int s.Of_message.tx_packets);
+          for _ = 1 to 10 do w_u64 w 0L done;
+          Wire.W.u32 w 0l;
+          Wire.W.u32 w 0l)
+        stats
+
+let encode ?(xid = 0l) m =
+  let body = Wire.W.create () in
+  encode_body body m;
+  let body = Wire.W.contents body in
+  let w = Wire.W.create () in
+  Wire.W.u8 w 0x04 (* OF 1.3 *);
+  Wire.W.u8 w (message_type_code m);
+  Wire.W.u16 w (8 + String.length body);
+  Wire.W.u32 w xid;
+  Wire.W.bytes w body;
+  Wire.W.contents w
+
+(* ---- decoding ---- *)
+
+let decode_flow_mod r =
+  let ctx = "flow_mod" in
+  let cookie = r_u64 ~ctx r in
+  let _cookie_mask = r_u64 ~ctx r in
+  let table_id = Wire.R.u8 ~ctx r in
+  let command =
+    match Wire.R.u8 ~ctx r with
+    | 0 -> Of_message.Add
+    | 1 -> Of_message.Modify { strict = false }
+    | 2 -> Of_message.Modify { strict = true }
+    | 3 -> Of_message.Delete { strict = false }
+    | 4 -> Of_message.Delete { strict = true }
+    | c -> fail "flow_mod: bad command %d" c
+  in
+  let idle = Wire.R.u16 ~ctx r in
+  let hard = Wire.R.u16 ~ctx r in
+  let priority = Wire.R.u16 ~ctx r in
+  let _buffer = Wire.R.u32 ~ctx r in
+  let out_port = Wire.R.u32 ~ctx r in
+  let _out_group = Wire.R.u32 ~ctx r in
+  let _flags = Wire.R.u16 ~ctx r in
+  skip ~ctx r 2;
+  let match_ = decode_match r in
+  let instructions = decode_instructions r in
+  {
+    Of_message.table_id;
+    command;
+    priority;
+    match_;
+    instructions;
+    cookie;
+    idle_timeout_s = (if idle = 0 then None else Some idle);
+    hard_timeout_s = (if hard = 0 then None else Some hard);
+    out_port =
+      (if Int32.equal out_port ofpp_any then None else Some (Int32.to_int out_port));
+  }
+
+let decode_group_mod r =
+  let ctx = "group_mod" in
+  let command = Wire.R.u16 ~ctx r in
+  let gtype =
+    match Wire.R.u8 ~ctx r with
+    | 0 -> Group_table.All
+    | 1 -> Group_table.Select
+    | 2 -> Group_table.Indirect
+    | t -> fail "group_mod: bad type %d" t
+  in
+  skip ~ctx r 1;
+  let id = Int32.to_int (Wire.R.u32 ~ctx r) in
+  let buckets = ref [] in
+  while Wire.R.remaining r > 0 do
+    let len = Wire.R.u16 ~ctx r in
+    if len < 16 then fail "group_mod: bad bucket length";
+    let weight = Wire.R.u16 ~ctx r in
+    let _watch_port = Wire.R.u32 ~ctx r in
+    let _watch_group = Wire.R.u32 ~ctx r in
+    skip ~ctx r 4;
+    let actions = decode_actions (sub_reader ~ctx r (len - 16)) in
+    buckets := { Group_table.weight; actions } :: !buckets
+  done;
+  let buckets = List.rev !buckets in
+  match command with
+  | 0 -> Of_message.Add_group { id; gtype; buckets }
+  | 1 -> Of_message.Modify_group { id; gtype; buckets }
+  | 2 -> Of_message.Delete_group { id }
+  | c -> fail "group_mod: bad command %d" c
+
+let decode_meter_mod r =
+  let ctx = "meter_mod" in
+  let command = Wire.R.u16 ~ctx r in
+  let _flags = Wire.R.u16 ~ctx r in
+  let id = Int32.to_int (Wire.R.u32 ~ctx r) in
+  let band =
+    if Wire.R.remaining r = 0 then None
+    else begin
+      let typ = Wire.R.u16 ~ctx r in
+      if typ <> 1 then fail "meter_mod: unsupported band type %d" typ;
+      let _len = Wire.R.u16 ~ctx r in
+      let rate = Int32.to_int (Wire.R.u32 ~ctx r) in
+      let burst_kbits = Int32.to_int (Wire.R.u32 ~ctx r) in
+      skip ~ctx r 4;
+      Some { Meter_table.rate_kbps = rate; burst_kb = burst_kbits / 8 }
+    end
+  in
+  match (command, band) with
+  | 0, Some band -> Of_message.Add_meter { id; band }
+  | 1, Some band -> Of_message.Modify_meter { id; band }
+  | 2, _ -> Of_message.Delete_meter { id }
+  | _, None -> fail "meter_mod: missing band"
+  | c, _ -> fail "meter_mod: bad command %d" c
+
+let decode_packet_in r =
+  let ctx = "packet_in" in
+  let _buffer = Wire.R.u32 ~ctx r in
+  let _total_len = Wire.R.u16 ~ctx r in
+  let reason =
+    match Wire.R.u8 ~ctx r with
+    | 0 -> Of_message.No_match
+    | 1 -> Of_message.Action_to_controller
+    | x -> fail "packet_in: bad reason %d" x
+  in
+  let _table = Wire.R.u8 ~ctx r in
+  let _cookie = r_u64 ~ctx r in
+  let m = decode_match r in
+  skip ~ctx r 2;
+  let in_port =
+    match m.Of_match.in_port with
+    | Some p -> p
+    | None -> fail "packet_in: match lacks in_port"
+  in
+  let packet =
+    try Packet.decode (Wire.R.rest r)
+    with Wire.Truncated _ | Wire.Malformed _ -> fail "packet_in: bad packet data"
+  in
+  Of_message.Packet_in { in_port; reason; packet }
+
+let decode_packet_out r =
+  let ctx = "packet_out" in
+  let _buffer = Wire.R.u32 ~ctx r in
+  let in_port = Wire.R.u32 ~ctx r in
+  let actions_len = Wire.R.u16 ~ctx r in
+  skip ~ctx r 6;
+  let actions = decode_actions (sub_reader ~ctx r actions_len) in
+  let packet =
+    try Packet.decode (Wire.R.rest r)
+    with Wire.Truncated _ | Wire.Malformed _ -> fail "packet_out: bad packet data"
+  in
+  Of_message.Packet_out
+    {
+      in_port =
+        (if Int32.equal in_port ofpp_controller then None
+         else Some (Int32.to_int in_port));
+      actions;
+      packet;
+    }
+
+let decode_multipart ~reply r =
+  let ctx = "multipart" in
+  let mp_type = Wire.R.u16 ~ctx r in
+  let _flags = Wire.R.u16 ~ctx r in
+  skip ~ctx r 4;
+  match (mp_type, reply) with
+  | 1, false ->
+      let table = Wire.R.u8 ~ctx r in
+      skip ~ctx r 3;
+      let _out_port = Wire.R.u32 ~ctx r in
+      let _out_group = Wire.R.u32 ~ctx r in
+      skip ~ctx r 4;
+      let _cookie = r_u64 ~ctx r in
+      let _cookie_mask = r_u64 ~ctx r in
+      let _match = decode_match r in
+      Of_message.Flow_stats_request
+        { table_id = (if table = 0xff then None else Some table) }
+  | 4, false ->
+      let _port = Wire.R.u32 ~ctx r in
+      skip ~ctx r 4;
+      Of_message.Port_stats_request
+  | 1, true ->
+      let stats = ref [] in
+      while Wire.R.remaining r > 0 do
+        let len = Wire.R.u16 ~ctx r in
+        if len < 2 then fail "flow stats: bad length";
+        let er = sub_reader ~ctx r (len - 2) in
+        let table_id = Wire.R.u8 ~ctx er in
+        skip ~ctx er 1;
+        let _dur_s = Wire.R.u32 ~ctx er in
+        let _dur_ns = Wire.R.u32 ~ctx er in
+        let priority = Wire.R.u16 ~ctx er in
+        skip ~ctx er 2 (* idle *);
+        skip ~ctx er 2 (* hard *);
+        skip ~ctx er 2 (* flags *);
+        skip ~ctx er 4;
+        let _cookie = r_u64 ~ctx er in
+        let packets = Int64.to_int (r_u64 ~ctx er) in
+        let bytes = Int64.to_int (r_u64 ~ctx er) in
+        let m = decode_match er in
+        stats :=
+          {
+            Of_message.stat_table_id = table_id;
+            stat_priority = priority;
+            stat_match = m;
+            stat_packets = packets;
+            stat_bytes = bytes;
+          }
+          :: !stats
+      done;
+      Of_message.Flow_stats_reply (List.rev !stats)
+  | 4, true ->
+      let stats = ref [] in
+      while Wire.R.remaining r > 0 do
+        let port_no = Int32.to_int (Wire.R.u32 ~ctx r) in
+        skip ~ctx r 4;
+        let rx = Int64.to_int (r_u64 ~ctx r) in
+        let tx = Int64.to_int (r_u64 ~ctx r) in
+        for _ = 1 to 10 do ignore (r_u64 ~ctx r) done;
+        skip ~ctx r 8;
+        stats := { Of_message.port_no; rx_packets = rx; tx_packets = tx } :: !stats
+      done;
+      Of_message.Port_stats_reply (List.rev !stats)
+  | t, _ -> fail "multipart: unsupported type %d" t
+
+let decode frame =
+  let ctx = "of_header" in
+  let r = Wire.R.create frame in
+  (try
+     let version = Wire.R.u8 ~ctx r in
+     if version <> 0x04 then fail "header: unsupported version 0x%02x" version
+   with Wire.Truncated _ -> fail "header: truncated");
+  try
+    let typ = Wire.R.u8 ~ctx r in
+    let length = Wire.R.u16 ~ctx r in
+    let xid = Wire.R.u32 ~ctx r in
+    if length <> String.length frame then
+      fail "header: length %d but frame is %d bytes" length (String.length frame);
+    let body = Wire.R.create (Wire.R.rest r) in
+    let bctx = "of_body" in
+    let message =
+      match typ with
+      | 0 -> Of_message.Hello
+      | 1 ->
+          let _typ = Wire.R.u16 ~ctx:bctx body in
+          let _code = Wire.R.u16 ~ctx:bctx body in
+          Of_message.Error (Wire.R.rest body)
+      | 2 -> Of_message.Echo_request (Wire.R.rest body)
+      | 3 -> Of_message.Echo_reply (Wire.R.rest body)
+      | 5 -> Of_message.Features_request
+      | 6 ->
+          let datapath_id = r_u64 ~ctx:bctx body in
+          let _buffers = Wire.R.u32 ~ctx:bctx body in
+          let num_tables = Wire.R.u8 ~ctx:bctx body in
+          skip ~ctx:bctx body 3;
+          let _caps = Wire.R.u32 ~ctx:bctx body in
+          let num_ports = Int32.to_int (Wire.R.u32 ~ctx:bctx body) in
+          Of_message.Features_reply { datapath_id; num_ports; num_tables }
+      | 10 -> decode_packet_in body
+      | 12 ->
+          let _reason = Wire.R.u8 ~ctx:bctx body in
+          skip ~ctx:bctx body 7;
+          let port_no = Int32.to_int (Wire.R.u32 ~ctx:bctx body) in
+          let _config = Wire.R.u32 ~ctx:bctx body in
+          let state = Wire.R.u32 ~ctx:bctx body in
+          Of_message.Port_status
+            { port_no; up = Int32.logand state 1l = 0l }
+      | 13 -> decode_packet_out body
+      | 14 -> Of_message.Flow_mod (decode_flow_mod body)
+      | 15 -> Of_message.Group_mod (decode_group_mod body)
+      | 18 -> decode_multipart ~reply:false body
+      | 19 -> decode_multipart ~reply:true body
+      | 20 -> Of_message.Barrier_request (Int32.to_int (Wire.R.u32 ~ctx:bctx body))
+      | 21 -> Of_message.Barrier_reply (Int32.to_int (Wire.R.u32 ~ctx:bctx body))
+      | 29 -> Of_message.Meter_mod (decode_meter_mod body)
+      | t -> fail "header: unsupported message type %d" t
+    in
+    (message, xid)
+  with Wire.Truncated what | Wire.Malformed what ->
+    fail "truncated or malformed %s" what
+
+let decode_stream buf =
+  let ctx = "of_stream" in
+  let frames = ref [] in
+  let pos = ref 0 in
+  let total = String.length buf in
+  while !pos < total do
+    if total - !pos < 8 then raise (Decode_error "stream: trailing bytes");
+    let r = Wire.R.create ~pos:(!pos + 2) buf in
+    let length = Wire.R.u16 ~ctx r in
+    if length < 8 || !pos + length > total then
+      raise (Decode_error "stream: bad frame length");
+    frames := decode (String.sub buf !pos length) :: !frames;
+    pos := !pos + length
+  done;
+  List.rev !frames

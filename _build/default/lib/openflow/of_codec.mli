@@ -1,0 +1,33 @@
+(** OpenFlow 1.3-style binary framing for {!Of_message}.
+
+    The simulator moves typed messages, but a switch you could actually
+    ship speaks bytes; this codec provides the wire form: the standard
+    8-byte header (version [0x04], type, length, xid), OXM TLV matches,
+    typed actions/instructions, and the message bodies.
+
+    Faithful-but-simplified in two documented ways:
+    - L4 port matches always use the [TCP_SRC]/[TCP_DST] OXM ids (this
+      library's matches are transport-agnostic);
+    - multipart (stats) messages carry only the fields the typed layer
+      has; the rest encode as zeros.
+
+    Every value of {!Of_message.t} round-trips: [decode (encode m) = m]
+    (property-tested). *)
+
+exception Decode_error of string
+
+val encode : ?xid:int32 -> Of_message.t -> string
+(** A complete frame, header included. *)
+
+val decode : string -> Of_message.t * int32
+(** Parses one complete frame, returning the message and its xid.
+    @raise Decode_error on malformed or truncated input, unknown types,
+    or a length field that disagrees with the payload. *)
+
+val decode_stream : string -> (Of_message.t * int32) list
+(** Split a byte stream into consecutive frames and decode each — what a
+    TCP receive path does.  @raise Decode_error as {!decode}, including
+    on trailing garbage. *)
+
+val message_type_code : Of_message.t -> int
+(** The OpenFlow header type byte this message encodes to. *)

@@ -1,0 +1,131 @@
+type flow_mod_command =
+  | Add
+  | Modify of { strict : bool }
+  | Delete of { strict : bool }
+
+type flow_mod = {
+  table_id : int;
+  command : flow_mod_command;
+  priority : int;
+  match_ : Of_match.t;
+  instructions : Flow_entry.instruction list;
+  cookie : int64;
+  idle_timeout_s : int option;
+  hard_timeout_s : int option;
+  out_port : int option;
+}
+
+let add_flow ?(table_id = 0) ?(priority = 1000) ?(cookie = 0L) ?idle_timeout_s
+    ?hard_timeout_s ~match_ instructions =
+  {
+    table_id;
+    command = Add;
+    priority;
+    match_;
+    instructions;
+    cookie;
+    idle_timeout_s;
+    hard_timeout_s;
+    out_port = None;
+  }
+
+let delete_flow ?(table_id = 0) ?(strict = false) ?(priority = 0) ?out_port
+    match_ =
+  {
+    table_id;
+    command = Delete { strict };
+    priority;
+    match_;
+    instructions = [];
+    cookie = 0L;
+    idle_timeout_s = None;
+    hard_timeout_s = None;
+    out_port;
+  }
+
+type meter_mod =
+  | Add_meter of { id : int; band : Meter_table.band }
+  | Modify_meter of { id : int; band : Meter_table.band }
+  | Delete_meter of { id : int }
+
+type group_mod =
+  | Add_group of { id : int; gtype : Group_table.group_type; buckets : Group_table.bucket list }
+  | Modify_group of { id : int; gtype : Group_table.group_type; buckets : Group_table.bucket list }
+  | Delete_group of { id : int }
+
+type packet_in_reason = No_match | Action_to_controller
+
+type flow_stat = {
+  stat_table_id : int;
+  stat_priority : int;
+  stat_match : Of_match.t;
+  stat_packets : int;
+  stat_bytes : int;
+}
+
+type port_stat = { port_no : int; rx_packets : int; tx_packets : int }
+
+type t =
+  | Hello
+  | Echo_request of string
+  | Echo_reply of string
+  | Features_request
+  | Features_reply of { datapath_id : int64; num_ports : int; num_tables : int }
+  | Flow_mod of flow_mod
+  | Group_mod of group_mod
+  | Meter_mod of meter_mod
+  | Port_status of { port_no : int; up : bool }
+  | Packet_in of { in_port : int; reason : packet_in_reason; packet : Netpkt.Packet.t }
+  | Packet_out of { in_port : int option; actions : Of_action.t list; packet : Netpkt.Packet.t }
+  | Flow_stats_request of { table_id : int option }
+  | Flow_stats_reply of flow_stat list
+  | Port_stats_request
+  | Port_stats_reply of port_stat list
+  | Barrier_request of int
+  | Barrier_reply of int
+  | Error of string
+
+let pp fmt = function
+  | Hello -> Format.pp_print_string fmt "hello"
+  | Echo_request _ -> Format.pp_print_string fmt "echo-request"
+  | Echo_reply _ -> Format.pp_print_string fmt "echo-reply"
+  | Features_request -> Format.pp_print_string fmt "features-request"
+  | Features_reply { datapath_id; num_ports; num_tables } ->
+      Format.fprintf fmt "features-reply dpid=%Lx ports=%d tables=%d" datapath_id
+        num_ports num_tables
+  | Flow_mod fm ->
+      let cmd =
+        match fm.command with
+        | Add -> "add"
+        | Modify { strict } -> if strict then "modify-strict" else "modify"
+        | Delete { strict } -> if strict then "delete-strict" else "delete"
+      in
+      Format.fprintf fmt "flow-mod %s table=%d prio=%d %a" cmd fm.table_id
+        fm.priority Of_match.pp fm.match_
+  | Group_mod (Add_group { id; _ }) -> Format.fprintf fmt "group-mod add %d" id
+  | Group_mod (Modify_group { id; _ }) -> Format.fprintf fmt "group-mod modify %d" id
+  | Group_mod (Delete_group { id }) -> Format.fprintf fmt "group-mod delete %d" id
+  | Meter_mod (Add_meter { id; band }) ->
+      Format.fprintf fmt "meter-mod add %d (%d kbps)" id band.Meter_table.rate_kbps
+  | Meter_mod (Modify_meter { id; band }) ->
+      Format.fprintf fmt "meter-mod modify %d (%d kbps)" id band.Meter_table.rate_kbps
+  | Meter_mod (Delete_meter { id }) -> Format.fprintf fmt "meter-mod delete %d" id
+  | Port_status { port_no; up } ->
+      Format.fprintf fmt "port-status %d %s" port_no (if up then "up" else "down")
+  | Packet_in { in_port; reason; packet } ->
+      Format.fprintf fmt "packet-in port=%d (%s) %a" in_port
+        (match reason with No_match -> "no-match" | Action_to_controller -> "action")
+        Netpkt.Packet.pp packet
+  | Packet_out { in_port; actions; _ } ->
+      Format.fprintf fmt "packet-out in_port=%s actions=%a"
+        (match in_port with None -> "-" | Some p -> string_of_int p)
+        Of_action.pp_list actions
+  | Flow_stats_request _ -> Format.pp_print_string fmt "flow-stats-request"
+  | Flow_stats_reply stats ->
+      Format.fprintf fmt "flow-stats-reply (%d)" (List.length stats)
+  | Port_stats_request -> Format.pp_print_string fmt "port-stats-request"
+  | Port_stats_reply stats ->
+      Format.fprintf fmt "port-stats-reply (%d)" (List.length stats)
+  | Barrier_request n -> Format.fprintf fmt "barrier-request %d" n
+  | Barrier_reply n -> Format.fprintf fmt "barrier-reply %d" n
+  | Error e -> Format.fprintf fmt "error: %s" e

@@ -1,0 +1,83 @@
+(** Controller ↔ switch protocol messages (an OpenFlow-1.3-shaped subset).
+
+    These travel over the {e control channel} — in the original system a
+    TCP connection, here a simulated channel with latency (see the
+    controller library).  They are deliberately kept as typed values
+    rather than wire bytes: the paper's claims do not depend on OpenFlow
+    framing, and typed messages keep every layer testable. *)
+
+type flow_mod_command =
+  | Add
+  | Modify of { strict : bool }
+  | Delete of { strict : bool }
+
+type flow_mod = {
+  table_id : int;
+  command : flow_mod_command;
+  priority : int;
+  match_ : Of_match.t;
+  instructions : Flow_entry.instruction list;
+  cookie : int64;
+  idle_timeout_s : int option;
+  hard_timeout_s : int option;
+  out_port : int option;  (** restricts deletes *)
+}
+
+val add_flow :
+  ?table_id:int ->
+  ?priority:int ->
+  ?cookie:int64 ->
+  ?idle_timeout_s:int ->
+  ?hard_timeout_s:int ->
+  match_:Of_match.t ->
+  Flow_entry.instruction list ->
+  flow_mod
+
+val delete_flow :
+  ?table_id:int -> ?strict:bool -> ?priority:int -> ?out_port:int ->
+  Of_match.t -> flow_mod
+
+type meter_mod =
+  | Add_meter of { id : int; band : Meter_table.band }
+  | Modify_meter of { id : int; band : Meter_table.band }
+  | Delete_meter of { id : int }
+
+type group_mod =
+  | Add_group of { id : int; gtype : Group_table.group_type; buckets : Group_table.bucket list }
+  | Modify_group of { id : int; gtype : Group_table.group_type; buckets : Group_table.bucket list }
+  | Delete_group of { id : int }
+
+type packet_in_reason = No_match | Action_to_controller
+
+type flow_stat = {
+  stat_table_id : int;
+  stat_priority : int;
+  stat_match : Of_match.t;
+  stat_packets : int;
+  stat_bytes : int;
+}
+
+type port_stat = { port_no : int; rx_packets : int; tx_packets : int }
+
+type t =
+  | Hello
+  | Echo_request of string
+  | Echo_reply of string
+  | Features_request
+  | Features_reply of { datapath_id : int64; num_ports : int; num_tables : int }
+  | Flow_mod of flow_mod
+  | Group_mod of group_mod
+  | Meter_mod of meter_mod
+  | Port_status of { port_no : int; up : bool }
+      (** link state change on a switch port (OFPT_PORT_STATUS) *)
+  | Packet_in of { in_port : int; reason : packet_in_reason; packet : Netpkt.Packet.t }
+  | Packet_out of { in_port : int option; actions : Of_action.t list; packet : Netpkt.Packet.t }
+  | Flow_stats_request of { table_id : int option }
+  | Flow_stats_reply of flow_stat list
+  | Port_stats_request
+  | Port_stats_reply of port_stat list
+  | Barrier_request of int
+  | Barrier_reply of int
+  | Error of string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,171 @@
+open Netpkt
+
+type output =
+  | Port of int * Packet.t
+  | In_port of Packet.t
+  | Flood of Packet.t
+  | All_ports of Packet.t
+  | Controller of int * Packet.t
+
+type result = {
+  outputs : output list;
+  table_miss : bool;
+  matched : Flow_entry.t list;
+}
+
+type t = {
+  tables : Flow_table.t array;
+  group_table : Group_table.t;
+  meter_table : Meter_table.t;
+}
+
+let create ?(num_tables = 4) ?max_entries_per_table () =
+  if num_tables <= 0 then invalid_arg "Pipeline.create: num_tables <= 0";
+  {
+    tables =
+      Array.init num_tables (fun _ ->
+          Flow_table.create ?max_entries:max_entries_per_table ());
+    group_table = Group_table.create ();
+    meter_table = Meter_table.create ();
+  }
+
+let num_tables t = Array.length t.tables
+
+let table t i =
+  if i < 0 || i >= Array.length t.tables then
+    invalid_arg "Pipeline.table: bad index";
+  t.tables.(i)
+
+let groups t = t.group_table
+let meters t = t.meter_table
+
+let flow_hash (f : Packet.Fields.t) =
+  Hashtbl.hash (f.Packet.Fields.ip_src, f.Packet.Fields.ip_dst,
+                f.Packet.Fields.ip_proto, f.Packet.Fields.l4_src,
+                f.Packet.Fields.l4_dst)
+
+(* The deferred "action set": at most one action per kind, outputs last.
+   We keep the rewrite actions in arrival order (replacing same-kind
+   duplicates) and a single optional output/group. *)
+type action_set = {
+  mutable rewrites : Of_action.t list; (* reverse order *)
+  mutable final : Of_action.t option;  (* Output or Group *)
+}
+
+let empty_set () = { rewrites = []; final = None }
+
+let same_kind a b =
+  match (a, b) with
+  | Of_action.Set_vlan_vid _, Of_action.Set_vlan_vid _
+  | Of_action.Set_vlan_pcp _, Of_action.Set_vlan_pcp _
+  | Of_action.Set_eth_src _, Of_action.Set_eth_src _
+  | Of_action.Set_eth_dst _, Of_action.Set_eth_dst _
+  | Of_action.Set_ip_src _, Of_action.Set_ip_src _
+  | Of_action.Set_ip_dst _, Of_action.Set_ip_dst _
+  | Of_action.Set_ip_tos _, Of_action.Set_ip_tos _
+  | Of_action.Set_l4_src _, Of_action.Set_l4_src _
+  | Of_action.Set_l4_dst _, Of_action.Set_l4_dst _
+  | Of_action.Push_vlan, Of_action.Push_vlan
+  | Of_action.Pop_vlan, Of_action.Pop_vlan -> true
+  | _ -> false
+
+let write_action set action =
+  match action with
+  | Of_action.Output _ | Of_action.Group _ -> set.final <- Some action
+  | Of_action.Drop ->
+      set.rewrites <- [];
+      set.final <- None
+  | _ ->
+      set.rewrites <- action :: List.filter (fun a -> not (same_kind a action)) set.rewrites
+
+let execute_with t ~lookup ~now_ns ~in_port pkt =
+  let outputs = ref [] in
+  let matched = ref [] in
+  let miss = ref false in
+  let emit out = outputs := out :: !outputs in
+  let rec run_actions pkt actions =
+    match actions with
+    | [] -> pkt
+    | action :: rest -> (
+        match action with
+        | Of_action.Output target ->
+            (match target with
+            | Of_action.Physical p -> emit (Port (p, pkt))
+            | Of_action.In_port -> emit (In_port pkt)
+            | Of_action.Flood -> emit (Flood pkt)
+            | Of_action.All -> emit (All_ports pkt)
+            | Of_action.Controller n -> emit (Controller (n, pkt)));
+            run_actions pkt rest
+        | Of_action.Group gid ->
+            let hash = flow_hash (Packet.Fields.of_packet pkt) in
+            (match Group_table.select_buckets t.group_table ~id:gid ~flow_hash:hash with
+            | buckets ->
+                List.iter
+                  (fun b -> ignore (run_actions pkt b.Group_table.actions))
+                  buckets
+            | exception Not_found -> ());
+            run_actions pkt rest
+        | Of_action.Drop -> run_actions pkt rest
+        | _ -> run_actions (Of_action.apply_rewrite action pkt) rest)
+  in
+  let rec walk table_id pkt set =
+    if table_id >= Array.length t.tables then finish pkt set
+    else begin
+      let fields = Packet.Fields.of_packet pkt in
+      match lookup table_id ~in_port fields with
+      | None ->
+          miss := true;
+          finish pkt set
+      | Some entry ->
+          Flow_entry.touch entry ~now_ns ~bytes:(Packet.size pkt);
+          matched := entry :: !matched;
+          let pkt = ref pkt in
+          let goto = ref None in
+          let metered_out = ref false in
+          List.iter
+            (fun instruction ->
+              if not !metered_out then
+                match instruction with
+                | Flow_entry.Apply_actions actions -> pkt := run_actions !pkt actions
+                | Flow_entry.Write_actions actions -> List.iter (write_action set) actions
+                | Flow_entry.Clear_actions ->
+                    set.rewrites <- [];
+                    set.final <- None
+                | Flow_entry.Goto_table n -> goto := Some n
+                | Flow_entry.Meter id -> (
+                    match
+                      Meter_table.apply t.meter_table ~id ~now_ns
+                        ~bytes:(Packet.size !pkt)
+                    with
+                    | `Pass -> ()
+                    | `Drop -> metered_out := true))
+            entry.Flow_entry.instructions;
+          if !metered_out then ()
+          else
+            match !goto with
+            | Some next when next > table_id -> walk next !pkt set
+            | Some _ | None -> finish !pkt set
+    end
+  and finish pkt set =
+    let pkt = List.fold_left
+        (fun p a -> Of_action.apply_rewrite a p)
+        pkt (List.rev set.rewrites)
+    in
+    match set.final with
+    | None -> ()
+    | Some final -> ignore (run_actions pkt [ final ])
+  in
+  walk 0 pkt (empty_set ());
+  { outputs = List.rev !outputs; table_miss = !miss; matched = List.rev !matched }
+
+let execute t ~now_ns ~in_port pkt =
+  let lookup table_id ~in_port fields =
+    Flow_table.lookup t.tables.(table_id) ~in_port fields
+  in
+  execute_with t ~lookup ~now_ns ~in_port pkt
+
+let total_entries t =
+  Array.fold_left (fun acc tbl -> acc + Flow_table.size tbl) 0 t.tables
+
+let version t =
+  Array.fold_left (fun acc tbl -> acc + Flow_table.version tbl) 0 t.tables

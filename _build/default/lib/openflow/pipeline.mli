@@ -1,0 +1,60 @@
+(** Multi-table OpenFlow pipeline execution.
+
+    A pipeline owns a fixed array of flow tables and a group table.
+    {!execute} walks a packet through the tables starting at table 0,
+    honouring [Apply_actions] (immediate, in order), [Write_actions]/
+    [Clear_actions] (deferred action set, run at pipeline end) and
+    [Goto_table], and resolving [Group] actions through the group table.
+
+    The pipeline is engine-agnostic; flooding is returned symbolically so
+    the owning switch can expand it over its own port set. *)
+
+(** Where a packet (in its state at emission time) leaves the pipeline. *)
+type output =
+  | Port of int * Netpkt.Packet.t
+  | In_port of Netpkt.Packet.t
+  | Flood of Netpkt.Packet.t            (** every port except the ingress *)
+  | All_ports of Netpkt.Packet.t        (** every port including the ingress *)
+  | Controller of int * Netpkt.Packet.t (** truncation length (0 = full) *)
+
+type result = {
+  outputs : output list;   (** in emission order *)
+  table_miss : bool;       (** true iff the walk hit a table with no match *)
+  matched : Flow_entry.t list;  (** entries hit, per table, in order *)
+}
+
+type t
+
+val create : ?num_tables:int -> ?max_entries_per_table:int -> unit -> t
+(** Default: 4 tables (0-3), matching small hardware pipelines, with the
+    {!Flow_table} default capacity. *)
+
+val num_tables : t -> int
+val table : t -> int -> Flow_table.t
+(** @raise Invalid_argument on a bad index. *)
+
+val groups : t -> Group_table.t
+val meters : t -> Meter_table.t
+
+val flow_hash : Netpkt.Packet.Fields.t -> int
+(** The hash [Select] groups use — a function of the 5-tuple only, so a
+    flow's packets always pick the same bucket. *)
+
+val execute : t -> now_ns:int -> in_port:int -> Netpkt.Packet.t -> result
+(** Flow-entry counters of matched entries are updated. *)
+
+val execute_with :
+  t ->
+  lookup:(int -> in_port:int -> Netpkt.Packet.Fields.t -> Flow_entry.t option) ->
+  now_ns:int ->
+  in_port:int ->
+  Netpkt.Packet.t ->
+  result
+(** Like {!execute}, but table lookups go through [lookup] (first argument
+    is the table id).  This is how alternative dataplanes — caches,
+    specialized matchers — reuse the instruction-execution semantics while
+    supplying their own classification. *)
+
+val total_entries : t -> int
+val version : t -> int
+(** Sum of table versions — changes whenever any table changes. *)

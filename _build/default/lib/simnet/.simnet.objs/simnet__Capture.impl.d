@@ -1,0 +1,1 @@
+lib/simnet/capture.ml: Buffer Char Engine Format Fun List Netpkt Node Sim_time String

@@ -1,0 +1,1 @@
+lib/simnet/capture.mli: Format Netpkt Node Sim_time

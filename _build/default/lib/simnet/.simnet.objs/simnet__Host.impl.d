@@ -1,0 +1,1 @@
+lib/simnet/host.ml: Arp Dns_lite Engine Http_lite Icmp Ipv4 Ipv4_addr List Mac_addr Netpkt Node Packet Probe Sim_time Stats Tcp Udp Wire

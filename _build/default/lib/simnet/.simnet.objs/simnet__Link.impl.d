@@ -1,0 +1,1 @@
+lib/simnet/link.ml: Engine Float Netpkt Node Rng Sim_time

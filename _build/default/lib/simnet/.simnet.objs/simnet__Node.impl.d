@@ -1,0 +1,1 @@
+lib/simnet/node.ml: Array Engine List Netpkt Option Printf Stats

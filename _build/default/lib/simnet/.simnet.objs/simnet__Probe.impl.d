@@ -1,0 +1,1 @@
+lib/simnet/probe.ml: Buffer Char Sim_time Stdlib String

@@ -1,0 +1,1 @@
+lib/simnet/probe.mli: Sim_time

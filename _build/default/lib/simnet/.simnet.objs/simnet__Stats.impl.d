@@ -1,0 +1,1 @@
+lib/simnet/stats.ml: Array Format Hashtbl List Sim_time Stdlib String

@@ -1,0 +1,1 @@
+lib/simnet/tcp_session.ml: Buffer Engine Format Host Int Int32 Ipv4 Ipv4_addr Mac_addr Netpkt Node Packet Sim_time String Tcp

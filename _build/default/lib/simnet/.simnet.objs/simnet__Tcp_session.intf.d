@@ -1,0 +1,1 @@
+lib/simnet/tcp_session.mli: Format Host Netpkt Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/traffic.ml: Array Engine Host Netpkt Node Packet Probe Rng Sim_time Stdlib

@@ -1,0 +1,1 @@
+lib/simnet/traffic.mli: Host Netpkt Rng Sim_time

@@ -1,0 +1,47 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Sim_time.t;
+  mutable executed : int;
+}
+
+let create () = { queue = Event_queue.create (); clock = Sim_time.zero; executed = 0 }
+let now t = t.clock
+
+let schedule_at t time f =
+  if Sim_time.compare time t.clock < 0 then
+    invalid_arg "Engine.schedule_at: instant in the past";
+  Event_queue.push t.queue time f
+
+let schedule_after t span f =
+  if span < 0 then invalid_arg "Engine.schedule_after: negative span";
+  Event_queue.push t.queue (Sim_time.add t.clock span) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some next -> (
+        match until with
+        | Some stop when Sim_time.compare next stop > 0 -> continue := false
+        | Some _ | None ->
+            ignore (step t);
+            decr budget)
+  done;
+  match until with
+  | Some stop when Sim_time.compare t.clock stop < 0 && !budget > 0 ->
+      t.clock <- stop
+  | Some _ | None -> ()
+
+let pending t = Event_queue.length t.queue
+let events_executed t = t.executed

@@ -1,0 +1,31 @@
+(** The discrete-event simulation loop.
+
+    An engine owns the clock and the pending-event queue.  Everything in a
+    simulation (links, switches, hosts, traffic sources, the controller
+    channel) schedules closures on the same engine, so a whole deployment
+    advances as one deterministic event sequence. *)
+
+type t
+
+val create : unit -> t
+val now : t -> Sim_time.t
+
+val schedule_at : t -> Sim_time.t -> (unit -> unit) -> unit
+(** @raise Invalid_argument if the instant is in the past. *)
+
+val schedule_after : t -> Sim_time.span -> (unit -> unit) -> unit
+(** @raise Invalid_argument if the span is negative. *)
+
+val step : t -> bool
+(** Run the earliest pending event.  [false] if none was pending. *)
+
+val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
+(** Run events in order until the queue drains, the clock would pass
+    [until], or [max_events] have executed.  When stopped by [until], the
+    clock is advanced to exactly [until]. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_executed : t -> int
+(** Total events executed since creation. *)

@@ -1,0 +1,91 @@
+type direction = Rx | Tx
+
+type t = {
+  name : string;
+  engine : Engine.t;
+  mutable tx_fns : (Netpkt.Packet.t -> unit) option array;
+  mutable handler : handler;
+  counters : Stats.Counter.t;
+  mutable taps : (direction -> int -> Netpkt.Packet.t -> unit) list;
+  mutable attachment_watchers : (port:int -> up:bool -> unit) list;
+}
+
+and handler = t -> in_port:int -> Netpkt.Packet.t -> unit
+
+let no_op_handler _ ~in_port:_ _ = ()
+
+let create engine ~name ~ports =
+  if ports < 0 then invalid_arg "Node.create: negative port count";
+  {
+    name;
+    engine;
+    tx_fns = Array.make ports None;
+    handler = no_op_handler;
+    counters = Stats.Counter.create ();
+    taps = [];
+    attachment_watchers = [];
+  }
+
+let name t = t.name
+let engine t = t.engine
+let port_count t = Array.length t.tx_fns
+
+let add_ports t n =
+  if n < 0 then invalid_arg "Node.add_ports: negative";
+  let first = Array.length t.tx_fns in
+  t.tx_fns <- Array.append t.tx_fns (Array.make n None);
+  first
+
+let set_handler t h = t.handler <- h
+
+let check_port t port =
+  if port < 0 || port >= Array.length t.tx_fns then
+    invalid_arg (Printf.sprintf "Node %s: bad port %d" t.name port)
+
+let run_taps t dir port pkt = List.iter (fun tap -> tap dir port pkt) t.taps
+
+let transmit t ~port pkt =
+  check_port t port;
+  match t.tx_fns.(port) with
+  | None -> Stats.Counter.incr t.counters "tx_drop_unattached"
+  | Some send ->
+      Stats.Counter.incr t.counters "tx";
+      Stats.Counter.incr t.counters (Printf.sprintf "tx.%d" port);
+      run_taps t Tx port pkt;
+      send pkt
+
+let deliver t ~port pkt =
+  check_port t port;
+  Stats.Counter.incr t.counters "rx";
+  Stats.Counter.incr t.counters (Printf.sprintf "rx.%d" port);
+  run_taps t Rx port pkt;
+  t.handler t ~in_port:port pkt
+
+let notify_attachment t port up =
+  List.iter (fun f -> f ~port ~up) t.attachment_watchers
+
+let attach t ~port send =
+  check_port t port;
+  (match t.tx_fns.(port) with
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Node %s: port %d already attached" t.name port)
+  | None -> ());
+  t.tx_fns.(port) <- Some send;
+  notify_attachment t port true
+
+let detach t ~port =
+  check_port t port;
+  if Option.is_some t.tx_fns.(port) then begin
+    t.tx_fns.(port) <- None;
+    notify_attachment t port false
+  end
+
+let attached t ~port =
+  check_port t port;
+  Option.is_some t.tx_fns.(port)
+
+let counters t = t.counters
+let add_tap t tap = t.taps <- t.taps @ [ tap ]
+
+let on_attachment_change t f =
+  t.attachment_watchers <- t.attachment_watchers @ [ f ]

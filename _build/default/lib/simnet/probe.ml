@@ -1,0 +1,19 @@
+let magic = "@T"
+
+let encode ~sent_at ~pad_to =
+  let b = Buffer.create (Stdlib.max 10 pad_to) in
+  Buffer.add_string b magic;
+  let ns = Sim_time.to_ns sent_at in
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((ns lsr (i * 8)) land 0xff))
+  done;
+  while Buffer.length b < pad_to do Buffer.add_char b '\x00' done;
+  Buffer.contents b
+
+let decode s =
+  if String.length s >= 10 && String.sub s 0 2 = magic then begin
+    let ns = ref 0 in
+    for i = 0 to 7 do ns := (!ns lsl 8) lor Char.code s.[2 + i] done;
+    if !ns >= 0 then Some (Sim_time.of_ns !ns) else None
+  end
+  else None

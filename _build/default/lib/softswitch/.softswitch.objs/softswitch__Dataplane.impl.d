@@ -1,0 +1,1 @@
+lib/softswitch/dataplane.ml: List Netpkt Openflow

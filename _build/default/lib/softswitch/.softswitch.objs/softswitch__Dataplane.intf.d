@@ -1,0 +1,1 @@
+lib/softswitch/dataplane.mli: Netpkt Openflow

@@ -1,0 +1,1 @@
+lib/softswitch/eswitch.mli: Dataplane Openflow

@@ -1,0 +1,1 @@
+lib/softswitch/linear.ml: Dataplane Flow_table Openflow Pipeline

@@ -1,0 +1,1 @@
+lib/softswitch/linear.mli: Dataplane Openflow

@@ -1,0 +1,1 @@
+lib/softswitch/ovs_like.ml: Dataplane Flow_entry Flow_table Hashtbl Ipv4_addr List Mac_addr Netpkt Of_match Openflow Option Packet Pipeline Stdlib

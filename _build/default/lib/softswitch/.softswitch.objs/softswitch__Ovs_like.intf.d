@@ -1,0 +1,1 @@
+lib/softswitch/ovs_like.mli: Dataplane Openflow

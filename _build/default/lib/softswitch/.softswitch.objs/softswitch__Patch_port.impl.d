@@ -1,0 +1,1 @@
+lib/softswitch/patch_port.ml: Engine Node Simnet

@@ -1,0 +1,1 @@
+lib/softswitch/pmd.ml: Engine Sim_time Simnet Stdlib

@@ -1,0 +1,1 @@
+lib/softswitch/pmd.mli: Simnet

@@ -1,0 +1,1 @@
+lib/softswitch/soft_switch.mli: Netpkt Openflow Ovs_like Pmd Simnet

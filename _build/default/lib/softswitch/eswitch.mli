@@ -1,0 +1,17 @@
+(** An ESwitch-like dataplane (Molnár et al., SIGCOMM 2016 — the software
+    switch the HARMLESS demo ran): the flow table is {e compiled} into a
+    small set of specialized matchers ("templates").
+
+    Entries whose match tests a set of fields exactly are grouped per
+    field-set into a hash table keyed by those field values; the few
+    entries with prefixes, masks or presence-tests fall into a residual
+    list.  A lookup probes each template (one hash probe each) plus the
+    residual, then keeps the highest-priority candidate.  Since real
+    OpenFlow programs use a handful of rule shapes, the per-packet cost is
+    near-constant in the number of rules — the property experiment E5
+    reproduces.
+
+    The compilation is redone whenever the pipeline version changes;
+    stats expose ["recompiles"], ["templates"], ["packets"]. *)
+
+val create : Openflow.Pipeline.t -> Dataplane.t

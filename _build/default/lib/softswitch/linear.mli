@@ -1,0 +1,5 @@
+(** The naive dataplane: every packet walks the flow tables linearly in
+    priority order.  This is the baseline the caching and specializing
+    dataplanes are measured against (experiment E5). *)
+
+val create : Openflow.Pipeline.t -> Dataplane.t

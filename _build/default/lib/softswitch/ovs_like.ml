@@ -1,0 +1,211 @@
+open Netpkt
+open Openflow
+
+type config = {
+  emc_enabled : bool;
+  emc_capacity : int;
+  megaflow_capacity : int;
+}
+
+let default_config =
+  { emc_enabled = true; emc_capacity = 8192; megaflow_capacity = 65536 }
+
+(* Which fields the installed rules consult, at field granularity (IP
+   prefixes keep their longest installed length). *)
+type mask = {
+  m_in_port : bool;
+  m_eth_dst : bool;
+  m_eth_src : bool;
+  m_eth_type : bool;
+  m_vlan : bool;
+  m_vlan_pcp : bool;
+  m_ip_src_len : int; (* 0 = not consulted *)
+  m_ip_dst_len : int;
+  m_ip_proto : bool;
+  m_ip_tos : bool;
+  m_l4_src : bool;
+  m_l4_dst : bool;
+}
+
+let empty_mask =
+  {
+    m_in_port = false;
+    m_eth_dst = false;
+    m_eth_src = false;
+    m_eth_type = false;
+    m_vlan = false;
+    m_vlan_pcp = false;
+    m_ip_src_len = 0;
+    m_ip_dst_len = 0;
+    m_ip_proto = false;
+    m_ip_tos = false;
+    m_l4_src = false;
+    m_l4_dst = false;
+  }
+
+let mask_of_pipeline pipeline =
+  let mask = ref empty_mask in
+  let note (m : Of_match.t) =
+    let cur = !mask in
+    mask :=
+      {
+        m_in_port = cur.m_in_port || Option.is_some m.Of_match.in_port;
+        m_eth_dst = cur.m_eth_dst || Option.is_some m.Of_match.eth_dst;
+        m_eth_src = cur.m_eth_src || Option.is_some m.Of_match.eth_src;
+        m_eth_type = cur.m_eth_type || Option.is_some m.Of_match.eth_type;
+        m_vlan = cur.m_vlan || Option.is_some m.Of_match.vlan;
+        m_vlan_pcp = cur.m_vlan_pcp || Option.is_some m.Of_match.vlan_pcp;
+        m_ip_src_len =
+          (match m.Of_match.ip_src with
+          | Some p -> Stdlib.max cur.m_ip_src_len (Ipv4_addr.Prefix.length p)
+          | None -> cur.m_ip_src_len);
+        m_ip_dst_len =
+          (match m.Of_match.ip_dst with
+          | Some p -> Stdlib.max cur.m_ip_dst_len (Ipv4_addr.Prefix.length p)
+          | None -> cur.m_ip_dst_len);
+        m_ip_proto = cur.m_ip_proto || Option.is_some m.Of_match.ip_proto;
+        m_ip_tos = cur.m_ip_tos || Option.is_some m.Of_match.ip_tos;
+        m_l4_src = cur.m_l4_src || Option.is_some m.Of_match.l4_src;
+        m_l4_dst = cur.m_l4_dst || Option.is_some m.Of_match.l4_dst;
+      }
+  in
+  for i = 0 to Pipeline.num_tables pipeline - 1 do
+    List.iter
+      (fun e -> note e.Flow_entry.match_)
+      (Flow_table.entries (Pipeline.table pipeline i))
+  done;
+  !mask
+
+let project mask ~in_port (f : Packet.Fields.t) =
+  let ip_masked len = function
+    | Some ip when len > 0 ->
+        Some (Ipv4_addr.Prefix.base (Ipv4_addr.Prefix.make ip len))
+    | Some _ | None -> None
+  in
+  ( (if mask.m_in_port then in_port else -1),
+    {
+      Packet.Fields.eth_dst = (if mask.m_eth_dst then f.Packet.Fields.eth_dst else Mac_addr.zero);
+      eth_src = (if mask.m_eth_src then f.Packet.Fields.eth_src else Mac_addr.zero);
+      eth_type = (if mask.m_eth_type then f.Packet.Fields.eth_type else 0);
+      vlan_vid = (if mask.m_vlan then f.Packet.Fields.vlan_vid else None);
+      vlan_pcp = (if mask.m_vlan_pcp then f.Packet.Fields.vlan_pcp else None);
+      ip_src = ip_masked mask.m_ip_src_len f.Packet.Fields.ip_src;
+      ip_dst = ip_masked mask.m_ip_dst_len f.Packet.Fields.ip_dst;
+      ip_proto = (if mask.m_ip_proto then f.Packet.Fields.ip_proto else None);
+      ip_tos = (if mask.m_ip_tos then f.Packet.Fields.ip_tos else None);
+      l4_src = (if mask.m_l4_src then f.Packet.Fields.l4_src else None);
+      l4_dst = (if mask.m_l4_dst then f.Packet.Fields.l4_dst else None);
+    } )
+
+(* A cached classification: the chain of entries the slow path matched,
+   per table, to be replayed without lookups. *)
+type cached = { by_table : (int * Flow_entry.t) list }
+
+let replay pipeline cached ~now_ns ~in_port pkt =
+  let lookup table_id ~in_port:_ _fields = List.assoc_opt table_id cached.by_table in
+  Pipeline.execute_with pipeline ~lookup ~now_ns ~in_port pkt
+
+let create ?(config = default_config) pipeline =
+  let emc : (int * Packet.Fields.t, cached) Hashtbl.t = Hashtbl.create 1024 in
+  let megaflow : (int * Packet.Fields.t, cached) Hashtbl.t = Hashtbl.create 1024 in
+  let mask = ref (mask_of_pipeline pipeline) in
+  let seen_version = ref (Pipeline.version pipeline) in
+  let emc_hits = ref 0 and megaflow_hits = ref 0 and upcalls = ref 0 in
+  let invalidations = ref 0 and packets = ref 0 in
+  let check_version () =
+    let v = Pipeline.version pipeline in
+    if v <> !seen_version then begin
+      seen_version := v;
+      Hashtbl.reset emc;
+      Hashtbl.reset megaflow;
+      mask := mask_of_pipeline pipeline;
+      incr invalidations
+    end
+  in
+  let cache_insert table key cached capacity =
+    if Hashtbl.length table >= capacity then
+      (* Random-ish eviction: drop an arbitrary entry (OVS's EMC uses
+         hash-slot replacement; arbitrariness is the behaviour that
+         matters). *)
+      (match Hashtbl.fold (fun k _ _ -> Some k) table None with
+      | Some victim -> Hashtbl.remove table victim
+      | None -> ());
+    Hashtbl.replace table key cached
+  in
+  let slow_path ~now_ns ~in_port pkt fields =
+    incr upcalls;
+    let scanned = ref 0 in
+    let tables_visited = ref 0 in
+    let matched_tables = ref [] in
+    let lookup table_id ~in_port fields =
+      incr tables_visited;
+      let entry, n =
+        Flow_table.lookup_scan (Pipeline.table pipeline table_id) ~in_port fields
+      in
+      scanned := !scanned + n;
+      (match entry with
+      | Some e -> matched_tables := (table_id, e) :: !matched_tables
+      | None -> ());
+      entry
+    in
+    let result = Pipeline.execute_with pipeline ~lookup ~now_ns ~in_port pkt in
+    let cycles =
+      (!tables_visited * Dataplane.Cost.table_base)
+      + (!scanned * Dataplane.Cost.linear_per_entry)
+    in
+    (* Populate caches only for successful classifications; misses go to
+       the controller and must keep doing so. *)
+    if not result.Pipeline.table_miss then begin
+      let cached = { by_table = List.rev !matched_tables } in
+      if config.emc_enabled then
+        cache_insert emc (in_port, fields) cached config.emc_capacity;
+      let mkey = project !mask ~in_port fields in
+      cache_insert megaflow mkey cached config.megaflow_capacity
+    end;
+    (result, cycles)
+  in
+  let process ~now_ns ~in_port pkt =
+    check_version ();
+    incr packets;
+    let fields = Packet.Fields.of_packet pkt in
+    let base = Dataplane.Cost.parse in
+    let emc_key = (in_port, fields) in
+    let from_emc =
+      if config.emc_enabled then Hashtbl.find_opt emc emc_key else None
+    in
+    match from_emc with
+    | Some cached ->
+        incr emc_hits;
+        let result = replay pipeline cached ~now_ns ~in_port pkt in
+        ( result,
+          base + Dataplane.Cost.emc_probe + Dataplane.Cost.emc_hit_extra
+          + Dataplane.cycles_of_result result )
+    | None -> (
+        let emc_miss_cost = if config.emc_enabled then Dataplane.Cost.emc_probe else 0 in
+        let mkey = project !mask ~in_port fields in
+        match Hashtbl.find_opt megaflow mkey with
+        | Some cached ->
+            incr megaflow_hits;
+            if config.emc_enabled then
+              cache_insert emc emc_key cached config.emc_capacity;
+            let result = replay pipeline cached ~now_ns ~in_port pkt in
+            ( result,
+              base + emc_miss_cost + Dataplane.Cost.megaflow_probe
+              + Dataplane.cycles_of_result result )
+        | None ->
+            let result, slow_cycles = slow_path ~now_ns ~in_port pkt fields in
+            ( result,
+              base + emc_miss_cost + Dataplane.Cost.megaflow_probe + slow_cycles
+              + Dataplane.cycles_of_result result ))
+  in
+  let stats () =
+    [
+      ("packets", !packets);
+      ("emc_hits", !emc_hits);
+      ("megaflow_hits", !megaflow_hits);
+      ("upcalls", !upcalls);
+      ("invalidations", !invalidations);
+    ]
+  in
+  let name = if config.emc_enabled then "ovs" else "ovs-noemc" in
+  { Dataplane.name; process; stats }

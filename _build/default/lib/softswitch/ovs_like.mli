@@ -1,0 +1,29 @@
+(** An OVS-style caching dataplane: an exact-match microflow cache (EMC)
+    in front of a masked megaflow cache in front of the slow path.
+
+    - {b EMC}: hash of the full header tuple → cached classification.
+      Fastest, but every distinct microflow (e.g. every source port)
+      occupies an entry.
+    - {b Megaflow}: the header fields are first projected onto the union
+      of fields actually tested by the installed rules (a conservative
+      model of OVS's dynamically-computed megaflow masks), so traffic
+      that differs only in untested fields shares an entry.
+    - {b Slow path}: a full linear table walk, after which both caches
+      are populated.
+
+    Caches are invalidated wholesale whenever the pipeline changes —
+    conservative but correct, and it makes the cost of control-plane
+    churn visible in experiments. *)
+
+type config = {
+  emc_enabled : bool;
+  emc_capacity : int;
+  megaflow_capacity : int;
+}
+
+val default_config : config
+(** EMC on, 8192 EMC entries, 65536 megaflows. *)
+
+val create : ?config:config -> Openflow.Pipeline.t -> Dataplane.t
+(** Stats exposed: ["emc_hits"], ["megaflow_hits"], ["upcalls"],
+    ["invalidations"], ["packets"]. *)

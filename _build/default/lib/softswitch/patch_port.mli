@@ -1,0 +1,14 @@
+(** Patch ports: zero-copy internal wires between two software switches on
+    the same server (how SS_1 hands packets to SS_2 in HARMLESS).  Delivery
+    is a same-instant engine event — no bandwidth, queueing or propagation
+    cost, matching the shared-memory port pairs of OVS/ESwitch. *)
+
+type t
+
+val connect : Simnet.Node.t * int -> Simnet.Node.t * int -> t
+(** @raise Invalid_argument if a port is attached or engines differ. *)
+
+val disconnect : t -> unit
+
+val packets_a_to_b : t -> int
+val packets_b_to_a : t -> int

@@ -1,0 +1,302 @@
+open Simnet
+open Openflow
+
+type dataplane_kind =
+  | Linear
+  | Ovs of Ovs_like.config
+  | Eswitch
+  | Hardware
+
+type miss_behavior = Drop_on_miss | Send_to_controller
+
+type t = {
+  node : Node.t;
+  engine : Engine.t;
+  name : string;
+  pipeline : Pipeline.t;
+  dataplane : Dataplane.t;
+  pmd : Pmd.t;
+  datapath_id : int64;
+  miss : miss_behavior;
+  mutable controller : Of_message.t -> unit;
+  mutable packet_ins : int;
+  mutable flow_mods : int;
+  mutable since_expiry : int;
+  mutable sample_rate : int option;
+  mutable sample_countdown : int;
+}
+
+let node t = t.node
+let name t = t.name
+let pipeline t = t.pipeline
+let datapath_id t = t.datapath_id
+let dataplane_name t = t.dataplane.Dataplane.name
+let set_controller t f = t.controller <- f
+let pmd t = t.pmd
+
+let hardware_dataplane pipeline =
+  (* ASIC: TCAM lookup, constant tiny cost. *)
+  let packets = ref 0 in
+  let process ~now_ns ~in_port pkt =
+    incr packets;
+    (Pipeline.execute pipeline ~now_ns ~in_port pkt, 2)
+  in
+  {
+    Dataplane.name = "hardware";
+    process;
+    stats = (fun () -> [ ("packets", !packets) ]);
+  }
+
+let set_sampling t ~rate =
+  (match rate with
+  | Some n when n <= 0 -> invalid_arg "Soft_switch.set_sampling: rate <= 0"
+  | Some _ | None -> ());
+  t.sample_rate <- rate;
+  t.sample_countdown <- Option.value rate ~default:0
+
+let expire_flows t =
+  let now_ns = Sim_time.to_ns (Engine.now t.engine) in
+  for i = 0 to Pipeline.num_tables t.pipeline - 1 do
+    ignore (Flow_table.expire (Pipeline.table t.pipeline i) ~now_ns)
+  done
+
+let resolve_outputs t ~in_port outputs =
+  let ports = Node.port_count t.node in
+  List.iter
+    (fun output ->
+      match output with
+      | Pipeline.Port (p, pkt) ->
+          if p >= 0 && p < ports && p <> in_port then Node.transmit t.node ~port:p pkt
+          else if p = in_port then () (* OF requires In_port for hairpin *)
+          else Stats.Counter.incr (Node.counters t.node) "drop_bad_out_port"
+      | Pipeline.In_port pkt -> Node.transmit t.node ~port:in_port pkt
+      | Pipeline.Flood pkt ->
+          for p = 0 to ports - 1 do
+            if p <> in_port then Node.transmit t.node ~port:p pkt
+          done
+      | Pipeline.All_ports pkt ->
+          for p = 0 to ports - 1 do
+            Node.transmit t.node ~port:p pkt
+          done
+      | Pipeline.Controller (_max_len, pkt) ->
+          t.packet_ins <- t.packet_ins + 1;
+          t.controller
+            (Of_message.Packet_in
+               { in_port; reason = Of_message.Action_to_controller; packet = pkt }))
+    outputs
+
+let handle_packet t ~in_port pkt =
+  let now_ns = Sim_time.to_ns (Engine.now t.engine) in
+  let result, cycles = t.dataplane.Dataplane.process ~now_ns ~in_port pkt in
+  let complete () =
+    (match t.sample_rate with
+    | Some rate ->
+        t.sample_countdown <- t.sample_countdown - 1;
+        if t.sample_countdown <= 0 then begin
+          t.sample_countdown <- rate;
+          t.packet_ins <- t.packet_ins + 1;
+          t.controller
+            (Of_message.Packet_in
+               { in_port; reason = Of_message.Action_to_controller; packet = pkt })
+        end
+    | None -> ());
+    t.since_expiry <- t.since_expiry + 1;
+    if t.since_expiry >= 1024 then begin
+      t.since_expiry <- 0;
+      expire_flows t
+    end;
+    if result.Pipeline.table_miss then begin
+      match t.miss with
+      | Drop_on_miss -> Stats.Counter.incr (Node.counters t.node) "drop_table_miss"
+      | Send_to_controller ->
+          t.packet_ins <- t.packet_ins + 1;
+          t.controller
+            (Of_message.Packet_in
+               { in_port; reason = Of_message.No_match; packet = pkt })
+    end;
+    resolve_outputs t ~in_port result.Pipeline.outputs
+  in
+  if not (Pmd.submit t.pmd ~cycles complete) then
+    Stats.Counter.incr (Node.counters t.node) "drop_rx_ring"
+
+let apply_flow_mod t (fm : Of_message.flow_mod) =
+  let now_ns = Sim_time.to_ns (Engine.now t.engine) in
+  if fm.Of_message.table_id < 0 || fm.Of_message.table_id >= Pipeline.num_tables t.pipeline
+  then t.controller (Of_message.Error "flow-mod: bad table id")
+  else begin
+    let table = Pipeline.table t.pipeline fm.Of_message.table_id in
+    t.flow_mods <- t.flow_mods + 1;
+    match fm.Of_message.command with
+    | Of_message.Add -> (
+        let entry =
+          Flow_entry.make ~priority:fm.Of_message.priority
+            ~cookie:fm.Of_message.cookie
+            ?idle_timeout_s:fm.Of_message.idle_timeout_s
+            ?hard_timeout_s:fm.Of_message.hard_timeout_s
+            ~match_:fm.Of_message.match_ fm.Of_message.instructions
+        in
+        try Flow_table.add table ~now_ns entry
+        with Flow_table.Table_full -> t.controller (Of_message.Error "flow-mod: table full"))
+    | Of_message.Modify { strict } ->
+        ignore
+          (Flow_table.modify table ~strict fm.Of_message.match_
+             ~priority:fm.Of_message.priority fm.Of_message.instructions)
+    | Of_message.Delete { strict } ->
+        ignore
+          (Flow_table.delete table ~strict ?out_port:fm.Of_message.out_port
+             fm.Of_message.match_ ~priority:fm.Of_message.priority)
+  end
+
+let apply_meter_mod t mm =
+  let meters = Pipeline.meters t.pipeline in
+  match mm with
+  | Of_message.Add_meter { id; band } -> (
+      try Meter_table.add meters ~id band
+      with Invalid_argument msg -> t.controller (Of_message.Error msg))
+  | Of_message.Modify_meter { id; band } -> (
+      try Meter_table.modify meters ~id band
+      with Not_found -> t.controller (Of_message.Error "meter-mod: unknown meter"))
+  | Of_message.Delete_meter { id } -> Meter_table.remove meters ~id
+
+let apply_group_mod t gm =
+  let groups = Pipeline.groups t.pipeline in
+  match gm with
+  | Of_message.Add_group { id; gtype; buckets } -> (
+      try Group_table.add groups ~id gtype buckets
+      with Invalid_argument msg -> t.controller (Of_message.Error msg))
+  | Of_message.Modify_group { id; gtype; buckets } -> (
+      try Group_table.modify groups ~id gtype buckets
+      with Not_found -> t.controller (Of_message.Error "group-mod: unknown group"))
+  | Of_message.Delete_group { id } -> Group_table.remove groups ~id
+
+let apply_packet_out t ~in_port actions pkt =
+  (* Packet-outs execute an explicit action list: rewrites in order,
+     outputs as they appear. *)
+  let in_port = match in_port with Some p -> p | None -> -1 in
+  let result =
+    let outputs = ref [] in
+    let pkt = ref pkt in
+    List.iter
+      (fun action ->
+        match action with
+        | Of_action.Output (Of_action.Physical p) ->
+            outputs := Pipeline.Port (p, !pkt) :: !outputs
+        | Of_action.Output Of_action.In_port ->
+            outputs := Pipeline.In_port !pkt :: !outputs
+        | Of_action.Output Of_action.Flood -> outputs := Pipeline.Flood !pkt :: !outputs
+        | Of_action.Output Of_action.All -> outputs := Pipeline.All_ports !pkt :: !outputs
+        | Of_action.Output (Of_action.Controller n) ->
+            outputs := Pipeline.Controller (n, !pkt) :: !outputs
+        | Of_action.Group _ | Of_action.Drop -> ()
+        | rewrite -> pkt := Of_action.apply_rewrite rewrite !pkt)
+      actions;
+    { Pipeline.outputs = List.rev !outputs; table_miss = false; matched = [] }
+  in
+  resolve_outputs t ~in_port result.Pipeline.outputs
+
+let flow_stats t table_filter =
+  let stat_of table_id e =
+    {
+      Of_message.stat_table_id = table_id;
+      stat_priority = e.Flow_entry.priority;
+      stat_match = e.Flow_entry.match_;
+      stat_packets = e.Flow_entry.packets;
+      stat_bytes = e.Flow_entry.bytes;
+    }
+  in
+  let tables =
+    match table_filter with
+    | Some id -> [ id ]
+    | None -> List.init (Pipeline.num_tables t.pipeline) Fun.id
+  in
+  List.concat_map
+    (fun id -> List.map (stat_of id) (Flow_table.entries (Pipeline.table t.pipeline id)))
+    tables
+
+let port_stats t =
+  let counters = Node.counters t.node in
+  List.init (Node.port_count t.node) (fun p ->
+      {
+        Of_message.port_no = p;
+        rx_packets = Stats.Counter.get counters (Printf.sprintf "rx.%d" p);
+        tx_packets = Stats.Counter.get counters (Printf.sprintf "tx.%d" p);
+      })
+
+let handle_message t msg =
+  match msg with
+  | Of_message.Hello -> t.controller Of_message.Hello
+  | Of_message.Echo_request payload -> t.controller (Of_message.Echo_reply payload)
+  | Of_message.Features_request ->
+      t.controller
+        (Of_message.Features_reply
+           {
+             datapath_id = t.datapath_id;
+             num_ports = Node.port_count t.node;
+             num_tables = Pipeline.num_tables t.pipeline;
+           })
+  | Of_message.Flow_mod fm -> apply_flow_mod t fm
+  | Of_message.Group_mod gm -> apply_group_mod t gm
+  | Of_message.Meter_mod mm -> apply_meter_mod t mm
+  | Of_message.Packet_out { in_port; actions; packet } ->
+      apply_packet_out t ~in_port actions packet
+  | Of_message.Flow_stats_request { table_id } ->
+      t.controller (Of_message.Flow_stats_reply (flow_stats t table_id))
+  | Of_message.Port_stats_request ->
+      t.controller (Of_message.Port_stats_reply (port_stats t))
+  | Of_message.Barrier_request n -> t.controller (Of_message.Barrier_reply n)
+  | Of_message.Echo_reply _ | Of_message.Features_reply _
+  | Of_message.Packet_in _ | Of_message.Flow_stats_reply _
+  | Of_message.Port_stats_reply _ | Of_message.Barrier_reply _
+  | Of_message.Port_status _ | Of_message.Error _ -> ()
+
+let stats t =
+  t.dataplane.Dataplane.stats ()
+  @ [
+      ("pmd_processed", Pmd.processed t.pmd);
+      ("pmd_dropped", Pmd.dropped t.pmd);
+      ("packet_ins", t.packet_ins);
+      ("flow_mods", t.flow_mods);
+    ]
+
+let process_direct t ~now_ns ~in_port pkt =
+  t.dataplane.Dataplane.process ~now_ns ~in_port pkt
+
+let next_dpid = ref 0L
+
+let create engine ~name ~ports ?(dataplane = Eswitch) ?(pmd = Pmd.default_config)
+    ?(num_tables = 4) ?max_flow_entries ?(miss = Send_to_controller) () =
+  let pipeline =
+    Pipeline.create ~num_tables ?max_entries_per_table:max_flow_entries ()
+  in
+  let node = Node.create engine ~name ~ports in
+  let dp =
+    match dataplane with
+    | Linear -> Linear.create pipeline
+    | Ovs config -> Ovs_like.create ~config pipeline
+    | Eswitch -> Eswitch.create pipeline
+    | Hardware -> hardware_dataplane pipeline
+  in
+  next_dpid := Int64.add !next_dpid 1L;
+  let t =
+    {
+      node;
+      engine;
+      name;
+      pipeline;
+      dataplane = dp;
+      pmd = Pmd.create engine ~config:pmd ();
+      datapath_id = !next_dpid;
+      miss;
+      controller = (fun _ -> ());
+      packet_ins = 0;
+      flow_mods = 0;
+      since_expiry = 0;
+      sample_rate = None;
+      sample_countdown = 0;
+    }
+  in
+  Node.set_handler node (fun _node ~in_port pkt -> handle_packet t ~in_port pkt);
+  (* Surface carrier changes to the controller as OFPT_PORT_STATUS. *)
+  Node.on_attachment_change node (fun ~port ~up ->
+      t.controller (Of_message.Port_status { port_no = port; up }));
+  t

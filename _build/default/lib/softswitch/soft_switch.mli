@@ -1,0 +1,69 @@
+(** The software OpenFlow switch: a {!Simnet.Node.t} whose forwarding is
+    an OpenFlow pipeline executed by a pluggable {!Dataplane} under a
+    {!Pmd} CPU model, plus the switch-side OpenFlow agent (flow-mods,
+    packet-in/out, stats, barriers).
+
+    HARMLESS instantiates two of these per deployment: SS_1 (the VLAN ↔
+    patch-port translator) and SS_2 (the main OF switch the controller
+    programs). *)
+
+type dataplane_kind =
+  | Linear
+  | Ovs of Ovs_like.config
+  | Eswitch
+  | Hardware
+      (** An idealized ASIC dataplane for modelling COTS OpenFlow
+          hardware: pipeline semantics, near-zero per-packet cycles, but
+          typically paired with a small [max_flow_entries]. *)
+
+type miss_behavior = Drop_on_miss | Send_to_controller
+
+type t
+
+val create :
+  Simnet.Engine.t ->
+  name:string ->
+  ports:int ->
+  ?dataplane:dataplane_kind ->
+  ?pmd:Pmd.config ->
+  ?num_tables:int ->
+  ?max_flow_entries:int ->
+  ?miss:miss_behavior ->
+  unit ->
+  t
+(** Defaults: [Eswitch] dataplane, default PMD, 4 tables, 100k entries per
+    table, misses go to the controller. *)
+
+val node : t -> Simnet.Node.t
+val name : t -> string
+val pipeline : t -> Openflow.Pipeline.t
+val datapath_id : t -> int64
+val dataplane_name : t -> string
+
+val set_controller : t -> (Openflow.Of_message.t -> unit) -> unit
+(** Where the agent sends its messages (packet-ins, replies). *)
+
+val handle_message : t -> Openflow.Of_message.t -> unit
+(** Deliver a controller→switch message to the agent.  Errors (e.g. table
+    full) come back as [Error] messages on the controller callback. *)
+
+val set_sampling : t -> rate:int option -> unit
+(** sFlow-style visibility: send every [rate]-th processed packet to the
+    controller as a packet-in (reason [Action_to_controller]) in addition
+    to normal forwarding.  [None] disables.
+    @raise Invalid_argument if the rate is not positive. *)
+
+val expire_flows : t -> unit
+(** Remove idle/hard-timed-out entries now.  Also runs automatically every
+    1024 processed packets. *)
+
+val stats : t -> (string * int) list
+(** Dataplane stats plus ["pmd_processed"], ["pmd_dropped"],
+    ["packet_ins"], ["flow_mods"]. *)
+
+val pmd : t -> Pmd.t
+
+val process_direct :
+  t -> now_ns:int -> in_port:int -> Netpkt.Packet.t -> Openflow.Pipeline.result * int
+(** Run the dataplane synchronously without the engine or PMD — what the
+    microbenchmarks call in a tight loop. *)

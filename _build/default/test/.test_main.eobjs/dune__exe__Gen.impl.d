@@ -1,0 +1,1 @@
+test/gen.ml: Arp Format Icmp Int32 Int64 Ipv4 Ipv4_addr List Mac_addr Netpkt Packet QCheck2 String Tcp Udp Vlan

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Engine Flow_table Http_lite Ipv4 Ipv4_addr Link List Mac_addr Netpkt Node Of_match Of_message Openflow Packet Pipeline Printf Sdnctl Sim_time Simnet Softswitch

@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Catalog Cost Costmodel Float List QCheck2 QCheck_alcotest Scenario

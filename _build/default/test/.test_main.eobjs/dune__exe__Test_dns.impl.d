@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Dns_lite Engine Experiments_lib Format Gen Harmless Host Ipv4_addr Link List Mac_addr Netpkt QCheck2 QCheck_alcotest Sdnctl Sim_time Simnet String Wire

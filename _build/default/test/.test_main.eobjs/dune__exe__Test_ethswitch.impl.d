@@ -1,0 +1,1 @@
+test/test_ethswitch.ml: Alcotest Array Engine Ethswitch Ipv4_addr Legacy_switch Link List Mac_addr Mac_table Netpkt Node Packet Port_config Printf Sim_time Simnet Stats Vlan

@@ -1,0 +1,1 @@
+test/test_failover.ml: Alcotest Array Engine Ethswitch Harmless Host Legacy_switch Link Mgmt Port_config Printf Sdnctl Sim_time Simnet Softswitch

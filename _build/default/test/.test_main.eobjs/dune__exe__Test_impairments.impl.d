@@ -1,0 +1,1 @@
+test/test_impairments.ml: Alcotest Engine Ethswitch Int Ipv4_addr Legacy_switch Link List Mac_addr Netpkt Node Packet Port_config Sim_time Simnet Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Engine Ethswitch Experiments_lib Harmless Host Ipv4_addr Link List Mac_addr Netpkt Node Openflow Packet Rng Sdnctl Sim_time Simnet Softswitch Traffic

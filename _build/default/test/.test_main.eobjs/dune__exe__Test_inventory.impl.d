@@ -1,0 +1,1 @@
+test/test_inventory.ml: Alcotest Engine Ethswitch Experiments_lib Harmless Host Ipv4_addr Legacy_switch Link List Mac_addr Mac_table Netpkt Node Openflow Packet Sdnctl Sim_time Simnet Stats

@@ -1,0 +1,1 @@
+test/test_meters.ml: Alcotest Experiments_lib Flow_entry Flow_table Ipv4_addr List Mac_addr Meter_table Netpkt Of_action Of_match Of_message Openflow Packet Pipeline Simnet Softswitch String

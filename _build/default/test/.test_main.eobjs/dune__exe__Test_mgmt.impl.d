@@ -1,0 +1,1 @@
+test/test_mgmt.ml: Alcotest Device Device_config Dialect Ethswitch Harmless Int Legacy_switch List Mgmt Mib Napalm Netpkt Oid Port_config Printf QCheck2 QCheck_alcotest Simnet Snmp String

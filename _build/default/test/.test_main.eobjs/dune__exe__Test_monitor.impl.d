@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Engine Harmless Host Netpkt Packet Rng Sdnctl Sim_time Simnet Traffic

@@ -1,0 +1,1 @@
+test/test_netpkt.ml: Alcotest Arp Bytes Char Checksum Gen Http_lite Icmp Ipv4 Ipv4_addr List Mac_addr Netpkt Packet Printf QCheck2 QCheck_alcotest String Tcp Udp Vlan Wire

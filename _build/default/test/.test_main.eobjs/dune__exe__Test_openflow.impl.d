@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Flow_entry Flow_table Gen Group_table Int Ipv4 Ipv4_addr List Mac_addr Netpkt Of_action Of_match Openflow Packet Pipeline QCheck2 QCheck_alcotest Vlan

@@ -1,0 +1,1 @@
+test/test_port_status.ml: Alcotest Array Engine Flow_table Ipv4_addr Link List Mac_addr Netpkt Node Of_codec Of_message Openflow Packet Pipeline Printf Sdnctl Sim_time Simnet Softswitch

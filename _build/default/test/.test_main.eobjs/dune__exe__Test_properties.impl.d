@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Capture Engine Ethswitch Experiments_lib Harmless Host List Mgmt Netpkt Packet Printf Rng Sdnctl Sim_time Simnet Softswitch Stats String Vlan

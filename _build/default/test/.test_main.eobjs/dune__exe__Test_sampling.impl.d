@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Engine Experiments_lib Harmless Host Netpkt Rng Sdnctl Sim_time Simnet Softswitch Traffic

@@ -1,0 +1,1 @@
+test/test_scaleout.ml: Alcotest Array Engine Ethswitch Experiments_lib Harmless Host Legacy_switch Mgmt Port_config Sdnctl Sim_time Simnet

@@ -1,0 +1,1 @@
+test/test_tcp_session.ml: Alcotest Char Engine Experiments_lib Harmless Host Ipv4_addr Link Mac_addr Netpkt Sim_time Simnet String Tcp_session

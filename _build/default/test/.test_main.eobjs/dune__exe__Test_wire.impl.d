@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Gen Int32 Netpkt QCheck2 QCheck_alcotest String Wire

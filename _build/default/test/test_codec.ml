@@ -1,0 +1,293 @@
+open Openflow
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 300) gen ~print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+(* ---- generators ---- *)
+
+let match_gen =
+  let open QCheck2.Gen in
+  let maybe g = oneof [ return (fun m -> m); g ] in
+  let chain fs m = List.fold_left (fun acc f -> f acc) m fs in
+  map
+    (fun fs -> chain fs Of_match.any)
+    (flatten_l
+       [
+         maybe (map Of_match.in_port (int_bound 255));
+         maybe (map (fun m -> Of_match.eth_dst m) Gen.unicast_mac_gen);
+         maybe
+           (map
+              (fun m ->
+                Of_match.eth_src ~mask:(Mac_addr.of_string "ff:ff:ff:00:00:00") m)
+              Gen.unicast_mac_gen);
+         maybe (map Of_match.eth_type (oneofl [ 0x0800; 0x0806 ]));
+         maybe
+           (oneof
+              [
+                return Of_match.vlan_absent;
+                return Of_match.vlan_present;
+                map Of_match.vid (int_range 1 4094);
+              ]);
+         maybe (map Of_match.vlan_pcp (int_range 0 7));
+         maybe (map Of_match.ip_tos (int_bound 63));
+         maybe (map Of_match.ip_proto (oneofl [ 1; 6; 17 ]));
+         maybe (map Of_match.ip_src Gen.prefix_gen);
+         maybe (map Of_match.ip_dst Gen.prefix_gen);
+         maybe (map Of_match.l4_src Gen.port_gen);
+         maybe (map Of_match.l4_dst Gen.port_gen);
+       ])
+
+let action_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun p -> Of_action.output p) (int_bound 255);
+      return (Of_action.Output Of_action.In_port);
+      return (Of_action.Output Of_action.Flood);
+      return (Of_action.Output Of_action.All);
+      map (fun n -> Of_action.Output (Of_action.Controller n)) (int_bound 0xffff);
+      map (fun g -> Of_action.Group g) (int_range 1 1000);
+      return Of_action.Push_vlan;
+      return Of_action.Pop_vlan;
+      map (fun v -> Of_action.Set_vlan_vid v) (int_range 1 4094);
+      map (fun p -> Of_action.Set_vlan_pcp p) (int_range 0 7);
+      map (fun m -> Of_action.Set_eth_src m) Gen.unicast_mac_gen;
+      map (fun m -> Of_action.Set_eth_dst m) Gen.unicast_mac_gen;
+      map (fun ip -> Of_action.Set_ip_src ip) Gen.ip_gen;
+      map (fun ip -> Of_action.Set_ip_dst ip) Gen.ip_gen;
+      map (fun v -> Of_action.Set_ip_tos v) (int_bound 255);
+      map (fun p -> Of_action.Set_l4_src p) Gen.port_gen;
+      map (fun p -> Of_action.Set_l4_dst p) Gen.port_gen;
+      return Of_action.Drop;
+    ]
+
+let instruction_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun acts -> Flow_entry.Apply_actions acts) (list_size (int_bound 4) action_gen);
+      map (fun acts -> Flow_entry.Write_actions acts) (list_size (int_bound 4) action_gen);
+      return Flow_entry.Clear_actions;
+      map (fun n -> Flow_entry.Goto_table n) (int_range 1 3);
+      map (fun id -> Flow_entry.Meter id) (int_range 1 100);
+    ]
+
+let flow_mod_gen =
+  let open QCheck2.Gen in
+  map3
+    (fun (m, instrs) (priority, table_id) (idle, hard) ->
+      {
+        Of_message.table_id;
+        command = Of_message.Add;
+        priority;
+        match_ = m;
+        instructions = instrs;
+        cookie = 42L;
+        idle_timeout_s = (if idle = 0 then None else Some idle);
+        hard_timeout_s = (if hard = 0 then None else Some hard);
+        out_port = None;
+      })
+    (pair match_gen (list_size (int_bound 3) instruction_gen))
+    (pair (int_bound 0xffff) (int_bound 3))
+    (pair (int_bound 100) (int_bound 100))
+
+let message_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Of_message.Hello;
+      map (fun s -> Of_message.Echo_request s) string_printable;
+      map (fun s -> Of_message.Echo_reply s) string_printable;
+      return Of_message.Features_request;
+      map
+        (fun (d, (p, t)) ->
+          Of_message.Features_reply
+            { datapath_id = Int64.of_int d; num_ports = p; num_tables = t })
+        (pair (int_bound 1000000) (pair (int_bound 255) (int_range 1 254)));
+      map (fun fm -> Of_message.Flow_mod fm) flow_mod_gen;
+      map
+        (fun (id, buckets) ->
+          Of_message.Group_mod
+            (Of_message.Add_group { id; gtype = Group_table.Select; buckets }))
+        (pair (int_range 1 100)
+           (list_size (int_range 1 3)
+              (map
+                 (fun (w, acts) -> { Group_table.weight = 1 + w; actions = acts })
+                 (pair (int_bound 10) (list_size (int_bound 3) action_gen)))));
+      map
+        (fun (id, (rate, burst)) ->
+          Of_message.Meter_mod
+            (Of_message.Add_meter
+               {
+                 id;
+                 band = { Meter_table.rate_kbps = 1 + rate; burst_kb = 1 + burst };
+               }))
+        (pair (int_range 1 100) (pair (int_bound 1000000) (int_bound 1000)));
+      map
+        (fun (port, pkt) ->
+          Of_message.Packet_in
+            { in_port = port; reason = Of_message.No_match; packet = pkt })
+        (pair (int_bound 255) Gen.packet_gen);
+      map
+        (fun ((port, acts), pkt) ->
+          Of_message.Packet_out
+            {
+              in_port = (if port = 0 then None else Some port);
+              actions = acts;
+              packet = pkt;
+            })
+        (pair (pair (int_bound 255) (list_size (int_bound 4) action_gen)) Gen.packet_gen);
+      map (fun t -> Of_message.Flow_stats_request { table_id = t })
+        (oneof [ return None; map Option.some (int_bound 3) ]);
+      return Of_message.Port_stats_request;
+      map
+        (fun stats ->
+          Of_message.Flow_stats_reply
+            (List.map
+               (fun (m, (p, b)) ->
+                 {
+                   Of_message.stat_table_id = 0;
+                   stat_priority = 1000;
+                   stat_match = m;
+                   stat_packets = p;
+                   stat_bytes = b;
+                 })
+               stats))
+        (list_size (int_bound 4)
+           (pair match_gen (pair (int_bound 100000) (int_bound 10000000))));
+      map
+        (fun stats ->
+          Of_message.Port_stats_reply
+            (List.map
+               (fun (n, (rx, tx)) ->
+                 { Of_message.port_no = n; rx_packets = rx; tx_packets = tx })
+               stats))
+        (list_size (int_bound 4)
+           (pair (int_bound 48) (pair (int_bound 100000) (int_bound 100000))));
+      map (fun n -> Of_message.Barrier_request n) (int_bound 1000);
+      map (fun n -> Of_message.Barrier_reply n) (int_bound 1000);
+      map (fun s -> Of_message.Error s) string_printable;
+    ]
+
+let print_message m = Format.asprintf "%a" Of_message.pp m
+
+(* Structural equality is fine: messages contain no closures. *)
+let messages_equal a b = a = b
+
+let roundtrip_tests =
+  [
+    prop "every message round-trips through the wire" message_gen
+      ~print:print_message
+      (fun m ->
+        let m', xid = Of_codec.decode (Of_codec.encode ~xid:77l m) in
+        messages_equal m m' && Int32.equal xid 77l);
+    prop "streams of frames split and decode" (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 5) message_gen)
+      ~print:(fun ms -> String.concat "; " (List.map print_message ms))
+      (fun ms ->
+        let stream = String.concat "" (List.map (Of_codec.encode ~xid:1l) ms) in
+        let decoded = List.map fst (Of_codec.decode_stream stream) in
+        List.length decoded = List.length ms && List.for_all2 messages_equal ms decoded);
+  ]
+
+let error_tests =
+  [
+    tc "bad version rejected" (fun () ->
+        let frame = Of_codec.encode Of_message.Hello in
+        let bad = Bytes.of_string frame in
+        Bytes.set bad 0 '\x01';
+        check Alcotest.bool "raises" true
+          (try ignore (Of_codec.decode (Bytes.to_string bad)); false
+           with Of_codec.Decode_error _ -> true));
+    tc "length mismatch rejected" (fun () ->
+        let frame = Of_codec.encode Of_message.Hello in
+        check Alcotest.bool "raises" true
+          (try ignore (Of_codec.decode (frame ^ "garbage")); false
+           with Of_codec.Decode_error _ -> true));
+    tc "truncated frame rejected" (fun () ->
+        let frame =
+          Of_codec.encode
+            (Of_message.Flow_mod (Of_message.add_flow ~match_:Of_match.any []))
+        in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Of_codec.decode (String.sub frame 0 (String.length frame - 3)));
+             false
+           with Of_codec.Decode_error _ -> true));
+    tc "stream with trailing junk rejected" (fun () ->
+        let stream = Of_codec.encode Of_message.Hello ^ "\x04" in
+        check Alcotest.bool "raises" true
+          (try ignore (Of_codec.decode_stream stream); false
+           with Of_codec.Decode_error _ -> true));
+    tc "unknown message type rejected" (fun () ->
+        let frame = Bytes.of_string (Of_codec.encode Of_message.Hello) in
+        Bytes.set frame 1 '\x63';
+        check Alcotest.bool "raises" true
+          (try ignore (Of_codec.decode (Bytes.to_string frame)); false
+           with Of_codec.Decode_error _ -> true));
+    tc "header type codes are the spec's" (fun () ->
+        check Alcotest.int "hello" 0 (Of_codec.message_type_code Of_message.Hello);
+        check Alcotest.int "flow-mod" 14
+          (Of_codec.message_type_code
+             (Of_message.Flow_mod (Of_message.add_flow ~match_:Of_match.any [])));
+        check Alcotest.int "packet-out" 13
+          (Of_codec.message_type_code
+             (Of_message.Packet_out
+                {
+                  in_port = None;
+                  actions = [];
+                  packet =
+                    Packet.arp_request
+                      ~src_mac:(Mac_addr.make_local 1)
+                      ~src_ip:(Ipv4_addr.of_string "10.0.0.1")
+                      ~target_ip:(Ipv4_addr.of_string "10.0.0.2");
+                }));
+        check Alcotest.int "meter-mod" 29
+          (Of_codec.message_type_code
+             (Of_message.Meter_mod (Of_message.Delete_meter { id = 1 }))));
+  ]
+
+
+
+(* ---- fuzzing: decode must never escape Decode_error ---- *)
+
+let total_by_fuzz frame =
+  match Of_codec.decode frame with
+  | _ -> true (* decoding successfully is fine *)
+  | exception Of_codec.Decode_error _ -> true
+  | exception _ -> false
+
+let fuzz_tests =
+  [
+    prop "random bytes never crash the decoder" ~count:500
+      (QCheck2.Gen.map
+         (fun chars -> String.init (List.length chars) (List.nth chars))
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_bound 64) QCheck2.Gen.char))
+      ~print:String.escaped total_by_fuzz;
+    prop "bit-flipped valid frames never crash the decoder" ~count:500
+      (QCheck2.Gen.triple message_gen (QCheck2.Gen.int_bound 10000)
+         (QCheck2.Gen.int_bound 255))
+      ~print:(fun (m, _, _) -> print_message m)
+      (fun (m, pos_seed, byte) ->
+        let frame = Bytes.of_string (Of_codec.encode m) in
+        let pos = pos_seed mod Bytes.length frame in
+        Bytes.set frame pos (Char.chr byte);
+        total_by_fuzz (Bytes.to_string frame));
+    prop "truncations never crash the decoder" ~count:300
+      (QCheck2.Gen.pair message_gen (QCheck2.Gen.int_bound 10000))
+      ~print:(fun (m, _) -> print_message m)
+      (fun (m, cut_seed) ->
+        let frame = Of_codec.encode m in
+        let cut = cut_seed mod String.length frame in
+        total_by_fuzz (String.sub frame 0 cut));
+  ]
+
+let suite =
+  [
+    ("codec.roundtrip", roundtrip_tests);
+    ("codec.errors", error_tests);
+    ("codec.fuzz", fuzz_tests);
+  ]

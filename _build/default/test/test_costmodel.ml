@@ -1,0 +1,81 @@
+open Costmodel
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 100) gen ~print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let ports_gen = QCheck2.Gen.int_range 1 512
+
+let suite_tests =
+  [
+    tc "catalog lookup" (fun () ->
+        (match Catalog.find "legacy-48" with
+        | Some d -> check Alcotest.int "ports" 48 d.Catalog.access_ports
+        | None -> Alcotest.fail "missing sku");
+        check Alcotest.bool "unknown" true (Catalog.find "flux-capacitor" = None));
+    tc "bill totals multiply out" (fun () ->
+        let bill = Scenario.cots_sdn ~ports:96 in
+        (* 96 = 2 x 48-port ToRs *)
+        check (Alcotest.float 0.01) "total"
+          (2.0 *. Catalog.cots_sdn_48.Catalog.price_usd)
+          (Scenario.total bill));
+    tc "tor mix tops up with the small model" (fun () ->
+        let bill = Scenario.cots_sdn ~ports:60 in
+        (* 48 + 24 covers 60 more cheaply than 2x48 *)
+        check Alcotest.int "provided" 72 bill.Scenario.ports_provided;
+        check (Alcotest.float 0.01) "total"
+          (Catalog.cots_sdn_48.Catalog.price_usd
+          +. Catalog.cots_sdn_24.Catalog.price_usd)
+          (Scenario.total bill));
+    tc "brownfield buys no switches" (fun () ->
+        let bill = Scenario.harmless_brownfield ~ports:48 in
+        List.iter
+          (fun line ->
+            if line.Scenario.item.Catalog.access_ports > 0 then
+              check (Alcotest.float 0.001) "owned switch free" 0.0
+                line.Scenario.item.Catalog.price_usd)
+          bill.Scenario.lines);
+    tc "greenfield = brownfield + switch cost" (fun () ->
+        let g = Scenario.total (Scenario.harmless_greenfield ~ports:96) in
+        let b = Scenario.total (Scenario.harmless_brownfield ~ports:96) in
+        check (Alcotest.float 0.01) "difference is the switches"
+          (2.0 *. Catalog.legacy_48.Catalog.price_usd)
+          (g -. b));
+    tc "expected ordering at 48 ports" (fun () ->
+        let r = List.hd (Cost.sweep ~port_counts:[ 48 ]) in
+        check Alcotest.bool "brown < green" true (r.Cost.brownfield < r.Cost.greenfield);
+        check Alcotest.bool "green < cots" true (r.Cost.greenfield < r.Cost.cots);
+        check Alcotest.bool "cots < software" true (r.Cost.cots < r.Cost.software));
+    tc "savings figure is substantial" (fun () ->
+        check Alcotest.bool "> 40%" true (Cost.savings_vs_cots ~ports:48 > 0.4));
+    prop "every scenario provides at least the requested ports" ports_gen
+      ~print:string_of_int
+      (fun ports ->
+        List.for_all
+          (fun bill -> bill.Scenario.ports_provided >= bill.Scenario.ports_requested)
+          (Scenario.all ~ports));
+    prop "totals are positive and per-port consistent" ports_gen
+      ~print:string_of_int
+      (fun ports ->
+        List.for_all
+          (fun bill ->
+            let total = Scenario.total bill in
+            total >= 0.0
+            && Float.abs ((Scenario.cost_per_port bill *. float_of_int ports) -. total)
+               < 0.01)
+          (Scenario.all ~ports));
+    prop "total cost is monotone in ports (same scenario)" ports_gen
+      ~print:string_of_int
+      (fun ports ->
+        let t1 = Scenario.total (Scenario.harmless_greenfield ~ports) in
+        let t2 = Scenario.total (Scenario.harmless_greenfield ~ports:(ports + 48)) in
+        t2 >= t1);
+    tc "invalid port counts rejected" (fun () ->
+        check Alcotest.bool "zero" true
+          (try ignore (Scenario.cots_sdn ~ports:0); false
+           with Invalid_argument _ -> true));
+  ]
+
+let suite = [ ("costmodel", suite_tests) ]

@@ -1,0 +1,257 @@
+open Simnet
+open Ethswitch
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---- MAC table ---- *)
+
+let mac i = Mac_addr.make_local i
+
+let mac_table_tests =
+  [
+    tc "learn then lookup" (fun () ->
+        let t = Mac_table.create () in
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1) ~port:3;
+        check Alcotest.(option int) "found" (Some 3)
+          (Mac_table.lookup t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1)));
+    tc "vlan separates address spaces" (fun () ->
+        let t = Mac_table.create () in
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1) ~port:3;
+        check Alcotest.(option int) "other vlan" None
+          (Mac_table.lookup t ~now:Sim_time.zero ~vlan:2 ~mac:(mac 1)));
+    tc "relearning moves the port" (fun () ->
+        let t = Mac_table.create () in
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1) ~port:3;
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1) ~port:7;
+        check Alcotest.(option int) "moved" (Some 7)
+          (Mac_table.lookup t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1));
+        check Alcotest.int "one entry" 1 (Mac_table.entry_count t));
+    tc "aging expires entries" (fun () ->
+        let t = Mac_table.create ~aging:(Sim_time.s 10) () in
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1) ~port:3;
+        let later = Sim_time.of_ns (Sim_time.s 11) in
+        check Alcotest.(option int) "expired" None
+          (Mac_table.lookup t ~now:later ~vlan:1 ~mac:(mac 1));
+        check Alcotest.int "removed" 0 (Mac_table.entry_count t));
+    tc "refresh resets aging" (fun () ->
+        let t = Mac_table.create ~aging:(Sim_time.s 10) () in
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1) ~port:3;
+        let mid = Sim_time.of_ns (Sim_time.s 8) in
+        Mac_table.learn t ~now:mid ~vlan:1 ~mac:(mac 1) ~port:3;
+        let later = Sim_time.of_ns (Sim_time.s 15) in
+        check Alcotest.(option int) "still there" (Some 3)
+          (Mac_table.lookup t ~now:later ~vlan:1 ~mac:(mac 1)));
+    tc "capacity evicts the oldest" (fun () ->
+        let t = Mac_table.create ~capacity:3 () in
+        for i = 1 to 3 do
+          Mac_table.learn t ~now:(Sim_time.of_ns i) ~vlan:1 ~mac:(mac i) ~port:i
+        done;
+        Mac_table.learn t ~now:(Sim_time.of_ns 10) ~vlan:1 ~mac:(mac 4) ~port:4;
+        check Alcotest.int "still 3" 3 (Mac_table.entry_count t);
+        check Alcotest.(option int) "oldest gone" None
+          (Mac_table.lookup t ~now:(Sim_time.of_ns 10) ~vlan:1 ~mac:(mac 1));
+        check Alcotest.(option int) "newest present" (Some 4)
+          (Mac_table.lookup t ~now:(Sim_time.of_ns 10) ~vlan:1 ~mac:(mac 4)));
+    tc "multicast sources not learned" (fun () ->
+        let t = Mac_table.create () in
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:Mac_addr.broadcast ~port:1;
+        check Alcotest.int "ignored" 0 (Mac_table.entry_count t));
+    tc "flush_port forgets selectively" (fun () ->
+        let t = Mac_table.create () in
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1) ~port:1;
+        Mac_table.learn t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 2) ~port:2;
+        Mac_table.flush_port t ~port:1;
+        check Alcotest.(option int) "gone" None
+          (Mac_table.lookup t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 1));
+        check Alcotest.(option int) "kept" (Some 2)
+          (Mac_table.lookup t ~now:Sim_time.zero ~vlan:1 ~mac:(mac 2)));
+  ]
+
+(* ---- Port configuration ---- *)
+
+let port_config_tests =
+  [
+    tc "access ingress classification" (fun () ->
+        let m = Port_config.Access 5 in
+        check Alcotest.(option int) "untagged" (Some 5)
+          (Port_config.classify_ingress m ~tag_vid:None);
+        check Alcotest.(option int) "matching tag" (Some 5)
+          (Port_config.classify_ingress m ~tag_vid:(Some 5));
+        check Alcotest.(option int) "foreign tag dropped" None
+          (Port_config.classify_ingress m ~tag_vid:(Some 6)));
+    tc "trunk ingress classification" (fun () ->
+        let m =
+          Port_config.Trunk { native = Some 1; allowed = Port_config.Only [ 10; 20 ] }
+        in
+        check Alcotest.(option int) "untagged -> native" (Some 1)
+          (Port_config.classify_ingress m ~tag_vid:None);
+        check Alcotest.(option int) "allowed" (Some 10)
+          (Port_config.classify_ingress m ~tag_vid:(Some 10));
+        check Alcotest.(option int) "not allowed" None
+          (Port_config.classify_ingress m ~tag_vid:(Some 30)));
+    tc "trunk without native drops untagged" (fun () ->
+        let m = Port_config.Trunk { native = None; allowed = Port_config.All } in
+        check Alcotest.(option int) "dropped" None
+          (Port_config.classify_ingress m ~tag_vid:None));
+    tc "egress encapsulation" (fun () ->
+        let access = Port_config.Access 5 in
+        let trunk =
+          Port_config.Trunk { native = Some 1; allowed = Port_config.Only [ 10 ] }
+        in
+        check Alcotest.bool "access member untagged" true
+          (Port_config.egress_encap access ~vlan:5 = Some `Untagged);
+        check Alcotest.bool "access non-member" true
+          (Port_config.egress_encap access ~vlan:6 = None);
+        check Alcotest.bool "trunk tags" true
+          (Port_config.egress_encap trunk ~vlan:10 = Some (`Tagged 10));
+        check Alcotest.bool "trunk native untagged" true
+          (Port_config.egress_encap trunk ~vlan:1 = Some `Untagged);
+        check Alcotest.bool "trunk non-member" true
+          (Port_config.egress_encap trunk ~vlan:99 = None));
+    tc "disabled port is inert" (fun () ->
+        check Alcotest.(option int) "ingress" None
+          (Port_config.classify_ingress Port_config.Disabled ~tag_vid:None);
+        check Alcotest.bool "egress" true
+          (Port_config.egress_encap Port_config.Disabled ~vlan:1 = None));
+  ]
+
+(* ---- The switch dataplane ---- *)
+
+(* A port harness: stub nodes recording what each port delivers. *)
+let switch_rig ~ports =
+  let engine = Engine.create () in
+  let sw = Legacy_switch.create engine ~name:"sw" ~ports () in
+  let received = Array.make ports [] in
+  let stubs =
+    Array.init ports (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "stub%d" i) ~ports:1 in
+        Node.set_handler n (fun _ ~in_port:_ pkt ->
+            received.(i) <- pkt :: received.(i));
+        ignore (Link.connect (n, 0) (Legacy_switch.node sw, i));
+        n)
+  in
+  let send i pkt = Node.transmit stubs.(i) ~port:0 pkt in
+  (engine, sw, send, received)
+
+let udp_pkt ?vlans ~from_mac ~to_mac () =
+  Packet.udp ?vlans ~dst:to_mac ~src:from_mac
+    ~ip_src:(Ipv4_addr.of_string "10.0.0.1")
+    ~ip_dst:(Ipv4_addr.of_string "10.0.0.2") ~src_port:1 ~dst_port:2 "test data"
+
+let switch_tests =
+  [
+    tc "floods unknown destination, then forwards directly" (fun () ->
+        let engine, sw, send, received = switch_rig ~ports:4 in
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:(mac 2) ());
+        Engine.run engine;
+        check Alcotest.int "p1" 1 (List.length received.(1));
+        check Alcotest.int "p2" 1 (List.length received.(2));
+        check Alcotest.int "p0 nothing" 0 (List.length received.(0));
+        send 1 (udp_pkt ~from_mac:(mac 2) ~to_mac:(mac 1) ());
+        Engine.run engine;
+        check Alcotest.int "reply to p0 only" 1 (List.length received.(0));
+        check Alcotest.int "p2 unchanged" 1 (List.length received.(2));
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:(mac 2) ());
+        Engine.run engine;
+        check Alcotest.int "direct" 2 (List.length received.(1));
+        check Alcotest.int "fwd counter" 2
+          (Stats.Counter.get (Legacy_switch.counters sw) "fwd"));
+    tc "vlan isolation between access ports" (fun () ->
+        let engine, sw, send, received = switch_rig ~ports:4 in
+        Legacy_switch.set_port_mode sw ~port:0 (Port_config.Access 10);
+        Legacy_switch.set_port_mode sw ~port:1 (Port_config.Access 10);
+        Legacy_switch.set_port_mode sw ~port:2 (Port_config.Access 20);
+        Legacy_switch.set_port_mode sw ~port:3 (Port_config.Access 20);
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:Mac_addr.broadcast ());
+        Engine.run engine;
+        check Alcotest.int "same vlan sees it" 1 (List.length received.(1));
+        check Alcotest.int "other vlan isolated" 0 (List.length received.(2));
+        check Alcotest.int "other vlan isolated'" 0 (List.length received.(3)));
+    tc "trunk tags egress and untags ingress" (fun () ->
+        let engine, sw, send, received = switch_rig ~ports:3 in
+        Legacy_switch.set_port_mode sw ~port:0 (Port_config.Access 10);
+        Legacy_switch.set_port_mode sw ~port:1 (Port_config.Access 10);
+        Legacy_switch.set_port_mode sw ~port:2
+          (Port_config.Trunk { native = None; allowed = Port_config.Only [ 10 ] });
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:Mac_addr.broadcast ());
+        Engine.run engine;
+        (match received.(2) with
+        | [ pkt ] ->
+            check Alcotest.(option int) "tagged 10" (Some 10) (Packet.outer_vid pkt)
+        | l -> Alcotest.failf "trunk got %d" (List.length l));
+        send 2
+          (udp_pkt ~vlans:[ Vlan.make 10 ] ~from_mac:(mac 3)
+             ~to_mac:Mac_addr.broadcast ());
+        Engine.run engine;
+        match received.(1) with
+        | pkt :: _ ->
+            check Alcotest.(option int) "untagged" None (Packet.outer_vid pkt)
+        | [] -> Alcotest.fail "access port got nothing");
+    tc "trunk drops disallowed vlans" (fun () ->
+        let engine, sw, send, received = switch_rig ~ports:2 in
+        Legacy_switch.set_port_mode sw ~port:0
+          (Port_config.Trunk { native = None; allowed = Port_config.Only [ 10 ] });
+        Legacy_switch.set_port_mode sw ~port:1 (Port_config.Access 20);
+        send 0
+          (udp_pkt ~vlans:[ Vlan.make 20 ] ~from_mac:(mac 1)
+             ~to_mac:Mac_addr.broadcast ());
+        Engine.run engine;
+        check Alcotest.int "dropped" 0 (List.length received.(1));
+        check Alcotest.int "counted" 1
+          (Stats.Counter.get (Legacy_switch.counters sw) "drop_ingress_vlan"));
+    tc "tagged frame on access port with foreign vid dropped" (fun () ->
+        let engine, sw, send, received = switch_rig ~ports:2 in
+        Legacy_switch.set_port_mode sw ~port:0 (Port_config.Access 10);
+        Legacy_switch.set_port_mode sw ~port:1 (Port_config.Access 10);
+        send 0
+          (udp_pkt ~vlans:[ Vlan.make 99 ] ~from_mac:(mac 1)
+             ~to_mac:Mac_addr.broadcast ());
+        Engine.run engine;
+        check Alcotest.int "dropped" 0 (List.length received.(1)));
+    tc "frame to the port it lives on is filtered" (fun () ->
+        let engine, sw, send, received = switch_rig ~ports:2 in
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:(mac 9) ());
+        send 0 (udp_pkt ~from_mac:(mac 2) ~to_mac:(mac 9) ());
+        Engine.run engine;
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:(mac 2) ());
+        Engine.run engine;
+        check Alcotest.int "same-port filtered" 1
+          (Stats.Counter.get (Legacy_switch.counters sw) "drop_same_port");
+        check Alcotest.int "nothing reflected" 0 (List.length received.(0)));
+    tc "reconfiguration flushes learned entries" (fun () ->
+        let engine, sw, send, _received = switch_rig ~ports:2 in
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:(mac 9) ());
+        Engine.run engine;
+        check Alcotest.int "learned" 1
+          (Mac_table.entry_count (Legacy_switch.mac_table sw));
+        Legacy_switch.set_port_mode sw ~port:0 (Port_config.Access 42);
+        check Alcotest.int "flushed" 0
+          (Mac_table.entry_count (Legacy_switch.mac_table sw)));
+    tc "vlans_in_use reflects configuration" (fun () ->
+        let _, sw, _, _ = switch_rig ~ports:3 in
+        Legacy_switch.set_port_mode sw ~port:0 (Port_config.Access 10);
+        Legacy_switch.set_port_mode sw ~port:1
+          (Port_config.Trunk { native = Some 1; allowed = Port_config.Only [ 10; 30 ] });
+        Legacy_switch.set_port_mode sw ~port:2 Port_config.Disabled;
+        check Alcotest.(list int) "vlans" [ 1; 10; 30 ]
+          (Legacy_switch.vlans_in_use sw));
+    tc "disabled port neither sends nor receives" (fun () ->
+        let engine, sw, send, received = switch_rig ~ports:3 in
+        Legacy_switch.set_port_mode sw ~port:2 Port_config.Disabled;
+        send 0 (udp_pkt ~from_mac:(mac 1) ~to_mac:Mac_addr.broadcast ());
+        Engine.run engine;
+        check Alcotest.int "p1 flooded" 1 (List.length received.(1));
+        check Alcotest.int "p2 silent" 0 (List.length received.(2));
+        send 2 (udp_pkt ~from_mac:(mac 3) ~to_mac:Mac_addr.broadcast ());
+        Engine.run engine;
+        check Alcotest.int "ingress dropped" 1 (List.length received.(1)));
+  ]
+
+let suite =
+  [
+    ("ethswitch.mac_table", mac_table_tests);
+    ("ethswitch.port_config", port_config_tests);
+    ("ethswitch.switch", switch_tests);
+  ]

@@ -1,0 +1,208 @@
+(* End-to-end integration: full deployments, the experiment scenarios in
+   miniature, transparency, and failure injection. *)
+
+open Simnet
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let fig1_tests =
+  [
+    tc "E1 walk-through checks all pass" (fun () ->
+        List.iter
+          (fun (c : Experiments_lib.E1_walkthrough.check) ->
+            if not c.Experiments_lib.E1_walkthrough.ok then
+              Alcotest.failf "step failed: %s (expected %s, observed %s)"
+                c.Experiments_lib.E1_walkthrough.step
+                c.Experiments_lib.E1_walkthrough.expected
+                c.Experiments_lib.E1_walkthrough.observed)
+          (Experiments_lib.E1_walkthrough.run_checks ()));
+    tc "ping works across every host pair through HARMLESS" (fun () ->
+        let engine = Engine.create () in
+        let d =
+          match Harmless.Deployment.build_harmless engine ~num_hosts:4 () with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        ignore
+          (Experiments_lib.Common.attach_with_apps d [ Sdnctl.L2_learning.create () ]);
+        for i = 0 to 3 do
+          for j = 0 to 3 do
+            if i <> j then
+              Host.ping
+                (Harmless.Deployment.host d i)
+                ~dst_mac:(Harmless.Deployment.host_mac j)
+                ~dst_ip:(Harmless.Deployment.host_ip j)
+                ~seq:((i * 4) + j)
+          done
+        done;
+        Experiments_lib.Common.run_for engine (Sim_time.ms 100);
+        Array.iter
+          (fun h -> check Alcotest.int (Host.name h) 3 (Host.echo_replies h))
+          d.Harmless.Deployment.hosts);
+  ]
+
+let usecase_tests =
+  [
+    tc_slow "E7 DMZ: zero violations, zero false blocks" (fun () ->
+        let r = Experiments_lib.E7_dmz.measure () in
+        check Alcotest.int "violations" 0 r.Experiments_lib.E7_dmz.violations;
+        check Alcotest.int "false blocks" 0 r.Experiments_lib.E7_dmz.false_blocks);
+    tc_slow "E8 parental control: all phases behave" (fun () ->
+        let results = Experiments_lib.E8_parental_control.measure () in
+        List.iter2
+          (fun (r : Experiments_lib.E8_parental_control.fetch) want ->
+            check Alcotest.bool
+              (r.Experiments_lib.E8_parental_control.who ^ " " ^ r.Experiments_lib.E8_parental_control.when_)
+              want r.Experiments_lib.E8_parental_control.got_response)
+          results Experiments_lib.E8_parental_control.expected);
+    tc_slow "E6 load balancer: all responses, all backends used" (fun () ->
+        let r = Experiments_lib.E6_load_balancer.measure () in
+        check Alcotest.int "responses" Experiments_lib.E6_load_balancer.requests
+          r.Experiments_lib.E6_load_balancer.responses_ok;
+        List.iter
+          (fun (_, n) -> check Alcotest.bool "backend used" true (n > 0))
+          r.Experiments_lib.E6_load_balancer.per_backend;
+        check Alcotest.bool "not absurdly skewed" true
+          (r.Experiments_lib.E6_load_balancer.balance_ratio < 3.0));
+  ]
+
+let transparency_tests =
+  [
+    tc_slow "E9 scenarios are all equivalent" (fun () ->
+        List.iter
+          (fun (name, (v : Harmless.Transparency.verdict)) ->
+            check Alcotest.bool name true v.Harmless.Transparency.equivalent;
+            check Alcotest.bool (name ^ " delivered something") true
+              (v.Harmless.Transparency.plain_delivered > 0))
+          (Experiments_lib.E9_transparency.rows ()));
+  ]
+
+let failure_tests =
+  [
+    tc "trunk failure stops forwarding without crashing" (fun () ->
+        let engine = Engine.create () in
+        let d =
+          match Harmless.Deployment.build_harmless engine ~num_hosts:2 () with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        ignore
+          (Experiments_lib.Common.attach_with_apps d [ Sdnctl.L2_learning.create () ]);
+        let h0 = Harmless.Deployment.host d 0 and h1 = Harmless.Deployment.host d 1 in
+        Host.ping h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1) ~seq:1;
+        Experiments_lib.Common.run_for engine (Sim_time.ms 50);
+        check Alcotest.int "worked before" 1 (Host.echo_replies h0);
+        (match d.Harmless.Deployment.kind with
+        | Harmless.Deployment.Harmless { trunk_link; _ } -> Link.disconnect trunk_link
+        | _ -> assert false);
+        Host.ping h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1) ~seq:2;
+        Experiments_lib.Common.run_for engine (Sim_time.ms 50);
+        check Alcotest.int "dead after" 1 (Host.echo_replies h0));
+    tc "rx-ring overload drops are counted, not fatal" (fun () ->
+        let engine = Engine.create () in
+        (* a deliberately slow software switch: 0.01 GHz, tiny ring *)
+        let pmd =
+          {
+            Softswitch.Pmd.default_config with
+            Softswitch.Pmd.ghz = 0.01;
+            rx_ring = 8;
+          }
+        in
+        let d =
+          match
+            Harmless.Deployment.build_harmless engine ~num_hosts:2
+              ~dataplane:Softswitch.Soft_switch.Eswitch ~pmd ()
+          with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        ignore
+          (Experiments_lib.Common.attach_with_apps d
+             [ Experiments_lib.Common.proactive_l2 ~num_hosts:2 ]);
+        let h0 = Harmless.Deployment.host d 0 in
+        let rng = Rng.create 4 in
+        ignore
+          (Traffic.udp_stream ~rng ~src:h0
+             ~dst_mac:(Harmless.Deployment.host_mac 1)
+             ~dst_ip:(Harmless.Deployment.host_ip 1)
+             ~stop:(Sim_time.add (Engine.now engine) (Sim_time.ms 2))
+             (Traffic.Cbr 1_000_000.0) (Traffic.Fixed 64) ());
+        Experiments_lib.Common.run_for engine (Sim_time.ms 10);
+        let ss1_stats =
+          match d.Harmless.Deployment.kind with
+          | Harmless.Deployment.Harmless { prov; _ } ->
+              Softswitch.Soft_switch.stats prov.Harmless.Manager.ss1
+          | _ -> assert false
+        in
+        check Alcotest.bool "pmd dropped" true
+          (List.assoc "pmd_dropped" ss1_stats > 0));
+    tc "flow-table overflow on a small COTS switch is reported" (fun () ->
+        let engine = Engine.create () in
+        let d =
+          Harmless.Deployment.build_plain_openflow engine ~num_hosts:2
+            ~dataplane:Softswitch.Soft_switch.Hardware ~max_flow_entries:3 ()
+        in
+        let ctrl = Sdnctl.Controller.create engine () in
+        let dpid =
+          Sdnctl.Controller.attach_switch ctrl (Harmless.Deployment.controller_switch d)
+        in
+        Experiments_lib.Common.run_for engine (Sim_time.ms 5);
+        for i = 0 to 9 do
+          Sdnctl.Controller.install ctrl dpid
+            (Openflow.Of_message.add_flow ~priority:(100 + i)
+               ~match_:Openflow.Of_match.(any |> in_port i)
+               [])
+        done;
+        Experiments_lib.Common.run_for engine (Sim_time.ms 10);
+        check Alcotest.bool "errors received" true
+          (List.length (Sdnctl.Controller.errors_received ctrl) >= 7));
+    tc "legacy mac-table pressure degrades to flooding, not loss" (fun () ->
+        let engine = Engine.create () in
+        let sw =
+          Ethswitch.Legacy_switch.create engine ~name:"tiny" ~ports:2
+            ~mac_table_capacity:4 ()
+        in
+        let got = ref 0 in
+        let a = Node.create engine ~name:"a" ~ports:1 in
+        let b = Node.create engine ~name:"b" ~ports:1 in
+        Node.set_handler b (fun _ ~in_port:_ _ -> incr got);
+        ignore (Link.connect (a, 0) (Ethswitch.Legacy_switch.node sw, 0));
+        ignore (Link.connect (b, 0) (Ethswitch.Legacy_switch.node sw, 1));
+        (* 100 distinct sources overflow the 4-entry table *)
+        for i = 1 to 100 do
+          Node.transmit a ~port:0
+            (Packet.udp
+               ~dst:(Mac_addr.make_local 9999)
+               ~src:(Mac_addr.make_local i)
+               ~ip_src:(Ipv4_addr.of_string "10.0.0.1")
+               ~ip_dst:(Ipv4_addr.of_string "10.0.0.2")
+               ~src_port:1 ~dst_port:2 "x")
+        done;
+        Engine.run engine;
+        check Alcotest.int "all flooded through" 100 !got);
+  ]
+
+let mgmt_workflow_tests =
+  [
+    tc_slow "E10 provisions and rolls back on both dialects" (fun () ->
+        List.iter
+          (fun (r : Experiments_lib.E10_mgmt.row) ->
+            check Alcotest.bool
+              (r.Experiments_lib.E10_mgmt.vendor ^ " rollback")
+              true r.Experiments_lib.E10_mgmt.rollback_ok;
+            check Alcotest.bool "snmp used" true
+              (r.Experiments_lib.E10_mgmt.snmp_requests > 0))
+          (Experiments_lib.E10_mgmt.rows ()));
+  ]
+
+let suite =
+  [
+    ("integration.fig1", fig1_tests);
+    ("integration.usecases", usecase_tests);
+    ("integration.transparency", transparency_tests);
+    ("integration.failures", failure_tests);
+    ("integration.mgmt", mgmt_workflow_tests);
+  ]

@@ -1,0 +1,10 @@
+(* Aggregates every suite; `dune runtest` runs the lot. *)
+
+let () =
+  Alcotest.run "harmless-repro"
+    (Test_wire.suite @ Test_netpkt.suite @ Test_simnet.suite @ Test_ethswitch.suite
+   @ Test_openflow.suite @ Test_softswitch.suite @ Test_mgmt.suite
+   @ Test_controller.suite @ Test_costmodel.suite @ Test_harmless.suite
+   @ Test_integration.suite @ Test_meters.suite @ Test_scaleout.suite
+   @ Test_codec.suite @ Test_monitor.suite @ Test_failover.suite
+   @ Test_dns.suite @ Test_port_status.suite @ Test_impairments.suite @ Test_tcp_session.suite @ Test_inventory.suite @ Test_sampling.suite @ Test_properties.suite)

@@ -1,0 +1,379 @@
+open Mgmt
+open Ethswitch
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 100) gen ~print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+(* ---- OIDs ---- *)
+
+let oid = Oid.of_string
+
+let oid_tests =
+  [
+    tc "string round-trip" (fun () ->
+        check Alcotest.string "same" "1.3.6.1.2.1"
+          (Oid.to_string (oid "1.3.6.1.2.1"));
+        check Alcotest.string "leading dot" "1.3.6"
+          (Oid.to_string (oid ".1.3.6")));
+    tc "bad input rejected" (fun () ->
+        List.iter
+          (fun s ->
+            check Alcotest.bool s true
+              (try ignore (oid s); false with Invalid_argument _ -> true))
+          [ ""; "1.a.2"; "1.-3" ]);
+    tc "lexicographic compare" (fun () ->
+        check Alcotest.bool "prefix first" true (Oid.compare (oid "1.3") (oid "1.3.1") < 0);
+        check Alcotest.bool "arc order" true (Oid.compare (oid "1.3.1") (oid "1.3.2") < 0);
+        check Alcotest.int "equal" 0 (Oid.compare (oid "1.3") (oid "1.3")));
+    tc "is_prefix" (fun () ->
+        check Alcotest.bool "yes" true (Oid.is_prefix (oid "1.3") (oid "1.3.6.1"));
+        check Alcotest.bool "reflexive" true (Oid.is_prefix (oid "1.3") (oid "1.3"));
+        check Alcotest.bool "no" false (Oid.is_prefix (oid "1.4") (oid "1.3.6")));
+  ]
+
+(* ---- MIB + SNMP ---- *)
+
+let mib_with_scalar () =
+  let mib = Mib.create () in
+  let value = ref 10 in
+  Mib.register_scalar mib (oid "1.3.1.1")
+    ~get:(fun () -> Mib.Int !value)
+    ~set:(fun v ->
+      match v with
+      | Mib.Int n ->
+          value := n;
+          Ok ()
+      | Mib.Str _ -> Error "wrongType")
+    ();
+  Mib.register_scalar mib (oid "1.3.1.2") ~get:(fun () -> Mib.Str "hello") ();
+  (mib, value)
+
+let mib_tests =
+  [
+    tc "get reads live values" (fun () ->
+        let mib, value = mib_with_scalar () in
+        check Alcotest.bool "10" true (Mib.get mib (oid "1.3.1.1") = Some (Mib.Int 10));
+        value := 42;
+        check Alcotest.bool "42" true (Mib.get mib (oid "1.3.1.1") = Some (Mib.Int 42)));
+    tc "set round-trips through the provider" (fun () ->
+        let mib, value = mib_with_scalar () in
+        check Alcotest.bool "ok" true (Mib.set mib (oid "1.3.1.1") (Mib.Int 7) = Ok ());
+        check Alcotest.int "stored" 7 !value);
+    tc "set on read-only rejected" (fun () ->
+        let mib, _ = mib_with_scalar () in
+        check Alcotest.bool "notWritable" true
+          (Mib.set mib (oid "1.3.1.2") (Mib.Int 1) = Error "notWritable"));
+    tc "next walks in order" (fun () ->
+        let mib, _ = mib_with_scalar () in
+        (match Mib.next mib (oid "1.3.1.1") with
+        | Some (o, _) -> check Alcotest.string "next" "1.3.1.2" (Oid.to_string o)
+        | None -> Alcotest.fail "expected next");
+        check Alcotest.bool "end" true (Mib.next mib (oid "1.3.1.2") = None));
+    tc "overlapping mounts rejected" (fun () ->
+        let mib, _ = mib_with_scalar () in
+        check Alcotest.bool "overlap" true
+          (try
+             Mib.register_scalar mib (oid "1.3.1.1") ~get:(fun () -> Mib.Int 0) ();
+             false
+           with Invalid_argument _ -> true));
+    tc "walk filters by prefix" (fun () ->
+        let mib, _ = mib_with_scalar () in
+        check Alcotest.int "both" 2 (List.length (Mib.walk mib (oid "1.3.1")));
+        check Alcotest.int "none" 0 (List.length (Mib.walk mib (oid "1.4"))));
+  ]
+
+let snmp_tests =
+  [
+    tc "communities enforced" (fun () ->
+        let mib, _ = mib_with_scalar () in
+        let agent = Snmp.create mib in
+        check Alcotest.bool "public reads" true
+          (Snmp.get agent ~community:"public" (oid "1.3.1.1") = Ok (Mib.Int 10));
+        check Alcotest.bool "bad community" true
+          (Snmp.get agent ~community:"wrong" (oid "1.3.1.1") = Error Snmp.Bad_community);
+        check Alcotest.bool "public cannot write" true
+          (Snmp.set agent ~community:"public" (oid "1.3.1.1") (Mib.Int 1)
+           = Error Snmp.Bad_community);
+        check Alcotest.bool "private writes" true
+          (Snmp.set agent ~community:"private" (oid "1.3.1.1") (Mib.Int 1) = Ok ()));
+    tc "missing object and end of mib" (fun () ->
+        let mib, _ = mib_with_scalar () in
+        let agent = Snmp.create mib in
+        check Alcotest.bool "noSuchObject" true
+          (Snmp.get agent ~community:"public" (oid "9.9") = Error Snmp.No_such_object);
+        check Alcotest.bool "endOfMib" true
+          (Snmp.get_next agent ~community:"public" (oid "1.3.1.2")
+           = Error Snmp.End_of_mib));
+    tc "request counting" (fun () ->
+        let mib, _ = mib_with_scalar () in
+        let agent = Snmp.create mib in
+        ignore (Snmp.get agent ~community:"public" (oid "1.3.1.1"));
+        ignore (Snmp.walk agent ~community:"public" (oid "1.3"));
+        check Alcotest.int "two" 2 (Snmp.requests agent));
+  ]
+
+(* ---- Dialects ---- *)
+
+let config_gen =
+  let open QCheck2.Gen in
+  let mode_gen =
+    oneof
+      [
+        map (fun v -> Port_config.Access v) (int_range 1 4094);
+        return Port_config.Disabled;
+        map2
+          (fun native vids ->
+            Port_config.Trunk
+              {
+                native = (if native = 0 then None else Some native);
+                allowed =
+                  (if vids = [] then Port_config.All
+                   else Port_config.Only (List.sort_uniq Int.compare vids));
+              })
+          (int_range 0 4094)
+          (list_size (int_bound 5) (int_range 1 4094));
+      ]
+  in
+  map2
+    (fun n modes ->
+      Device_config.make ~hostname:(Printf.sprintf "sw%d" n)
+        (List.mapi
+           (fun port mode -> { Device_config.port; mode; description = None })
+           modes))
+    (int_bound 99)
+    (list_size (int_range 1 12) mode_gen)
+
+(* Rendering drops empty descriptions; compare modes and hostname only. *)
+let same_modes (a : Device_config.t) (b : Device_config.t) =
+  String.equal a.Device_config.hostname b.Device_config.hostname
+  && List.length a.Device_config.stanzas = List.length b.Device_config.stanzas
+  && List.for_all2
+       (fun (x : Device_config.stanza) (y : Device_config.stanza) ->
+         x.Device_config.port = y.Device_config.port
+         && x.Device_config.mode = y.Device_config.mode)
+       a.Device_config.stanzas b.Device_config.stanzas
+
+let dialect_tests =
+  [
+    tc "ios interface naming" (fun () ->
+        check Alcotest.string "name" "GigabitEthernet0/1" (Dialect.Ios.interface_name 0);
+        check Alcotest.(option int) "parse" (Some 0)
+          (Dialect.Ios.parse_interface_name "GigabitEthernet0/1");
+        check Alcotest.(option int) "reject eos name" None
+          (Dialect.Ios.parse_interface_name "Ethernet1"));
+    tc "eos interface naming" (fun () ->
+        check Alcotest.string "name" "Ethernet3" (Dialect.Eos.interface_name 2);
+        check Alcotest.(option int) "parse" (Some 2)
+          (Dialect.Eos.parse_interface_name "Ethernet3"));
+    prop "ios render/parse round-trip" config_gen
+      ~print:(fun c -> Dialect.Ios.render c)
+      (fun config ->
+        match Dialect.Ios.parse (Dialect.Ios.render config) with
+        | Ok parsed -> same_modes config parsed
+        | Error _ -> false);
+    prop "eos render/parse round-trip" config_gen
+      ~print:(fun c -> Dialect.Eos.render c)
+      (fun config ->
+        match Dialect.Eos.parse (Dialect.Eos.render config) with
+        | Ok parsed -> same_modes config parsed
+        | Error _ -> false);
+    tc "unknown lines tolerated, bad vlans rejected" (fun () ->
+        let text =
+          "hostname sw\n!\ninterface GigabitEthernet0/1\n spanning-tree portfast\n switchport mode access\n switchport access vlan 7\n!\n"
+        in
+        (match Dialect.Ios.parse text with
+        | Ok c -> (
+            match Device_config.stanza_for c ~port:0 with
+            | Some { Device_config.mode = Port_config.Access 7; _ } -> ()
+            | _ -> Alcotest.fail "mode lost")
+        | Error e -> Alcotest.fail e);
+        match
+          Dialect.Ios.parse
+            "interface GigabitEthernet0/1\n switchport access vlan banana\n"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "should reject");
+  ]
+
+(* ---- Device: SNMP agent + NAPALM driver ---- *)
+
+let device_rig vendor =
+  let engine = Simnet.Engine.create () in
+  let sw = Legacy_switch.create engine ~name:"dev0" ~ports:4 () in
+  (engine, sw, Device.create ~switch:sw ~vendor ())
+
+let device_tests =
+  [
+    tc "snmp system group" (fun () ->
+        let _, _, dev = device_rig Device.Cisco_like in
+        let agent = Device.snmp dev in
+        (match Snmp.get agent ~community:"public" Oid.Std.sys_name with
+        | Ok (Mib.Str "dev0") -> ()
+        | _ -> Alcotest.fail "sysName");
+        match Snmp.get agent ~community:"public" Oid.Std.if_number with
+        | Ok (Mib.Int 4) -> ()
+        | _ -> Alcotest.fail "ifNumber");
+    tc "snmp pvid read and write change the switch" (fun () ->
+        let _, sw, dev = device_rig Device.Cisco_like in
+        let agent = Device.snmp dev in
+        (match Snmp.get agent ~community:"public" (Oid.Std.vlan_port_vlan 1) with
+        | Ok (Mib.Int 1) -> ()
+        | _ -> Alcotest.fail "default pvid");
+        check Alcotest.bool "set" true
+          (Snmp.set agent ~community:"private" (Oid.Std.vlan_port_vlan 1) (Mib.Int 77)
+           = Ok ());
+        check Alcotest.bool "applied" true
+          (Legacy_switch.port_mode sw ~port:0 = Port_config.Access 77));
+    tc "snmp pvid rejects invalid vids" (fun () ->
+        let _, _, dev = device_rig Device.Cisco_like in
+        let agent = Device.snmp dev in
+        match
+          Snmp.set agent ~community:"private" (Oid.Std.vlan_port_vlan 1) (Mib.Int 4095)
+        with
+        | Error (Snmp.Not_writable _) -> ()
+        | _ -> Alcotest.fail "should reject");
+    tc "napalm facts and interfaces" (fun () ->
+        let _, _, dev = device_rig Device.Arista_like in
+        let driver = Device.napalm dev in
+        let facts = driver.Napalm.get_facts () in
+        check Alcotest.string "driver" "eos" driver.Napalm.driver_name;
+        check Alcotest.string "hostname" "dev0" facts.Napalm.hostname;
+        check Alcotest.int "interfaces" 4 facts.Napalm.interface_count;
+        let ifs = driver.Napalm.get_interfaces () in
+        check Alcotest.int "4" 4 (List.length ifs);
+        check Alcotest.string "name" "Ethernet1"
+          (List.hd ifs).Napalm.if_name);
+    tc "candidate -> diff -> commit -> rollback cycle" (fun () ->
+        let _, sw, dev = device_rig Device.Cisco_like in
+        let driver = Device.napalm dev in
+        let target =
+          Device_config.make ~hostname:"dev0"
+            [
+              { Device_config.port = 0; mode = Port_config.Access 101; description = None };
+              { Device_config.port = 1; mode = Port_config.Access 102; description = None };
+              { Device_config.port = 2; mode = Port_config.Access 1; description = None };
+              {
+                Device_config.port = 3;
+                mode = Port_config.Trunk { native = None; allowed = Port_config.Only [ 101; 102 ] };
+                description = None;
+              };
+            ]
+        in
+        check Alcotest.bool "load" true
+          (driver.Napalm.load_candidate (Dialect.Ios.render target) = Ok ());
+        check Alcotest.int "3 diffs" 3 (List.length (driver.Napalm.compare_config ()));
+        check Alcotest.bool "commit" true (driver.Napalm.commit () = Ok ());
+        check Alcotest.bool "applied" true
+          (Legacy_switch.port_mode sw ~port:0 = Port_config.Access 101);
+        check Alcotest.bool "rollback" true (driver.Napalm.rollback () = Ok ());
+        check Alcotest.bool "restored" true
+          (Legacy_switch.port_mode sw ~port:0 = Port_config.Access 1));
+    tc "commit without candidate fails; discard drops it" (fun () ->
+        let _, _, dev = device_rig Device.Cisco_like in
+        let driver = Device.napalm dev in
+        (match driver.Napalm.commit () with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "commit of nothing");
+        check Alcotest.bool "load" true
+          (driver.Napalm.load_candidate (Device.running_config_text dev) = Ok ());
+        driver.Napalm.discard ();
+        match driver.Napalm.commit () with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "discarded candidate committed");
+    tc "malformed candidate rejected" (fun () ->
+        let _, _, dev = device_rig Device.Cisco_like in
+        let driver = Device.napalm dev in
+        match driver.Napalm.load_candidate "interface Nonsense9\n shutdown\n" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "should reject");
+    tc "interface counters visible over snmp" (fun () ->
+        let engine, sw, dev = device_rig Device.Cisco_like in
+        let agent = Device.snmp dev in
+        (* push one frame through port 0 *)
+        let stub = Simnet.Node.create engine ~name:"stub" ~ports:1 in
+        ignore (Simnet.Link.connect (stub, 0) (Legacy_switch.node sw, 0));
+        Simnet.Node.transmit stub ~port:0
+          (Netpkt.Packet.arp_request
+             ~src_mac:(Netpkt.Mac_addr.make_local 1)
+             ~src_ip:(Netpkt.Ipv4_addr.of_string "10.0.0.1")
+             ~target_ip:(Netpkt.Ipv4_addr.of_string "10.0.0.2"));
+        Simnet.Engine.run engine;
+        match Snmp.get agent ~community:"public" (Oid.Std.if_in_ucast 1) with
+        | Ok (Mib.Int n) -> check Alcotest.int "rx counted" 1 n
+        | _ -> Alcotest.fail "counter read");
+  ]
+
+
+
+(* ---- JunOS dialect ---- *)
+
+let junos_tests =
+  [
+    tc "junos interface naming" (fun () ->
+        check Alcotest.string "name" "ge-0/0/0" (Dialect.Junos.interface_name 0);
+        check Alcotest.(option int) "parse" (Some 7)
+          (Dialect.Junos.parse_interface_name "ge-0/0/7");
+        check Alcotest.(option int) "rejects ios name" None
+          (Dialect.Junos.parse_interface_name "GigabitEthernet0/1"));
+    prop "junos render/parse round-trip" config_gen
+      ~print:(fun c -> Dialect.Junos.render c)
+      (fun config ->
+        match Dialect.Junos.parse (Dialect.Junos.render config) with
+        | Ok parsed -> same_modes config parsed
+        | Error _ -> false);
+    tc "junos set-style statements parse" (fun () ->
+        let text =
+          "set system host-name edge1\n\
+           set interfaces ge-0/0/0 unit 0 family ethernet-switching port-mode access\n\
+           set interfaces ge-0/0/0 unit 0 family ethernet-switching vlan members 7\n\
+           set interfaces ge-0/0/1 unit 0 family ethernet-switching port-mode trunk\n\
+           set interfaces ge-0/0/1 unit 0 family ethernet-switching vlan members 7\n\
+           set interfaces ge-0/0/1 unit 0 family ethernet-switching vlan members 8\n\
+           set interfaces ge-0/0/2 disable\n"
+        in
+        match Dialect.Junos.parse text with
+        | Error e -> Alcotest.fail e
+        | Ok c ->
+            check Alcotest.string "hostname" "edge1" c.Device_config.hostname;
+            (match Device_config.stanza_for c ~port:0 with
+            | Some { Device_config.mode = Port_config.Access 7; _ } -> ()
+            | _ -> Alcotest.fail "port 0");
+            (match Device_config.stanza_for c ~port:1 with
+            | Some
+                {
+                  Device_config.mode =
+                    Port_config.Trunk { allowed = Port_config.Only [ 7; 8 ]; _ };
+                  _;
+                } -> ()
+            | _ -> Alcotest.fail "port 1");
+            match Device_config.stanza_for c ~port:2 with
+            | Some { Device_config.mode = Port_config.Disabled; _ } -> ()
+            | _ -> Alcotest.fail "port 2");
+    tc "manager provisions a juniper device end to end" (fun () ->
+        let engine = Simnet.Engine.create () in
+        let sw = Legacy_switch.create engine ~name:"jun0" ~ports:4 () in
+        let device = Device.create ~switch:sw ~vendor:Device.Juniper_like () in
+        match
+          Harmless.Manager.provision engine ~device ~trunk_port:3
+            ~access_ports:[ 0; 1; 2 ] ()
+        with
+        | Error m -> Alcotest.fail m
+        | Ok _ ->
+            check Alcotest.bool "configured" true
+              (Legacy_switch.port_mode sw ~port:0 = Port_config.Access 101);
+            check Alcotest.bool "rollback" true
+              (Harmless.Manager.deprovision device = Ok ()));
+  ]
+
+let suite =
+  [
+    ("mgmt.oid", oid_tests);
+    ("mgmt.mib", mib_tests);
+    ("mgmt.snmp", snmp_tests);
+    ("mgmt.dialect", dialect_tests);
+    ("mgmt.device", device_tests);
+    ("mgmt.junos", junos_tests);
+  ]

@@ -1,0 +1,88 @@
+open Simnet
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let monitor_tests =
+  [
+    tc "traffic matrix counts exactly the tracked pairs" (fun () ->
+        let engine = Engine.create () in
+        let d =
+          match Harmless.Deployment.build_harmless engine ~num_hosts:3 () with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        let pairs =
+          [
+            (Harmless.Deployment.host_ip 0, Harmless.Deployment.host_ip 2);
+            (Harmless.Deployment.host_ip 1, Harmless.Deployment.host_ip 2);
+          ]
+        in
+        let mon = Sdnctl.Monitor.create ~pairs () in
+        let ctrl =
+          let c = Sdnctl.Controller.create engine () in
+          Sdnctl.Controller.add_app c (Sdnctl.Monitor.app mon);
+          Sdnctl.Controller.add_app c (Sdnctl.Rate_limiter.table1_l2 ~num_hosts:3);
+          ignore
+            (Sdnctl.Controller.attach_switch c (Harmless.Deployment.controller_switch d));
+          Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 5));
+          c
+        in
+        (* host0 sends 7 packets to host2; host1 sends 3 *)
+        let send src n =
+          let h = Harmless.Deployment.host d src in
+          for i = 1 to n do
+            Host.send h
+              (Packet.udp
+                 ~dst:(Harmless.Deployment.host_mac 2)
+                 ~src:(Host.mac h) ~ip_src:(Host.ip h)
+                 ~ip_dst:(Harmless.Deployment.host_ip 2)
+                 ~src_port:(1000 + i) ~dst_port:9 "monitor me")
+          done
+        in
+        send 0 7;
+        send 1 3;
+        Engine.run engine ~until:(Sim_time.add (Engine.now engine) (Sim_time.ms 20));
+        Sdnctl.Monitor.poll mon ctrl;
+        Engine.run engine ~until:(Sim_time.add (Engine.now engine) (Sim_time.ms 10));
+        (match Sdnctl.Monitor.matrix mon with
+        | [ (_, (p0, b0)); (_, (p1, b1)) ] ->
+            check Alcotest.int "pair0 packets" 7 p0;
+            check Alcotest.int "pair1 packets" 3 p1;
+            check Alcotest.bool "bytes counted" true (b0 > b1 && b1 > 0)
+        | _ -> Alcotest.fail "matrix shape");
+        check Alcotest.int "one poll" 1 (Sdnctl.Monitor.polls_completed mon));
+    tc "periodic polling updates the matrix over time" (fun () ->
+        let engine = Engine.create () in
+        let d =
+          match Harmless.Deployment.build_harmless engine ~num_hosts:2 () with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        let pairs = [ (Harmless.Deployment.host_ip 0, Harmless.Deployment.host_ip 1) ] in
+        let mon = Sdnctl.Monitor.create ~pairs () in
+        let ctrl = Sdnctl.Controller.create engine () in
+        Sdnctl.Controller.add_app ctrl (Sdnctl.Monitor.app mon);
+        Sdnctl.Controller.add_app ctrl (Sdnctl.Rate_limiter.table1_l2 ~num_hosts:2);
+        ignore
+          (Sdnctl.Controller.attach_switch ctrl (Harmless.Deployment.controller_switch d));
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 5));
+        let h0 = Harmless.Deployment.host d 0 in
+        ignore
+          (Traffic.udp_stream ~rng:(Rng.create 1) ~src:h0
+             ~dst_mac:(Harmless.Deployment.host_mac 1)
+             ~dst_ip:(Harmless.Deployment.host_ip 1)
+             ~stop:(Sim_time.add (Engine.now engine) (Sim_time.ms 50))
+             (Traffic.Cbr 10_000.0) (Traffic.Fixed 128) ());
+        Sdnctl.Monitor.start_polling mon ctrl engine ~period:(Sim_time.ms 15) ~rounds:4;
+        Engine.run engine ~until:(Sim_time.add (Engine.now engine) (Sim_time.ms 70));
+        check Alcotest.int "four polls" 4 (Sdnctl.Monitor.polls_completed mon);
+        match Sdnctl.Monitor.matrix mon with
+        | [ (_, (packets, _)) ] ->
+            (* 10kpps for 50ms = 500 packets *)
+            check Alcotest.bool "saw the stream" true (packets >= 450 && packets <= 500)
+        | _ -> Alcotest.fail "matrix shape");
+  ]
+
+let suite = [ ("monitor", monitor_tests) ]

@@ -1,0 +1,499 @@
+open Openflow
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 200) gen ~print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let mac i = Mac_addr.make_local i
+let ip = Ipv4_addr.of_string
+let prefix = Ipv4_addr.Prefix.of_string
+
+let udp_pkt ?vlans ?(dst = mac 2) ?(src = mac 1) ?(ip_src = ip "10.0.0.1")
+    ?(ip_dst = ip "10.0.0.2") ?(sport = 1000) ?(dport = 80) () =
+  Packet.udp ?vlans ~dst ~src ~ip_src ~ip_dst ~src_port:sport ~dst_port:dport
+    "payload..."
+
+let matches m ~in_port pkt = Of_match.matches_packet m ~in_port pkt
+
+(* ---- Matching ---- *)
+
+let match_tests =
+  [
+    tc "wildcard matches everything" (fun () ->
+        check Alcotest.bool "udp" true (matches Of_match.any ~in_port:3 (udp_pkt ()));
+        check Alcotest.bool "arp" true
+          (matches Of_match.any ~in_port:0
+             (Packet.arp_request ~src_mac:(mac 1) ~src_ip:(ip "10.0.0.1")
+                ~target_ip:(ip "10.0.0.2"))));
+    tc "in_port" (fun () ->
+        let m = Of_match.(any |> in_port 3) in
+        check Alcotest.bool "hit" true (matches m ~in_port:3 (udp_pkt ()));
+        check Alcotest.bool "miss" false (matches m ~in_port:4 (udp_pkt ())));
+    tc "eth_dst exact and masked" (fun () ->
+        let m = Of_match.(any |> eth_dst (mac 2)) in
+        check Alcotest.bool "hit" true (matches m ~in_port:0 (udp_pkt ()));
+        check Alcotest.bool "miss" false
+          (matches m ~in_port:0 (udp_pkt ~dst:(mac 3) ()));
+        (* mask on the OUI bytes only *)
+        let oui_mask = Mac_addr.of_string "ff:ff:ff:00:00:00" in
+        let m = Of_match.(any |> eth_dst ~mask:oui_mask (mac 2)) in
+        check Alcotest.bool "same oui" true
+          (matches m ~in_port:0 (udp_pkt ~dst:(mac 9999) ())));
+    tc "vlan absent/present/vid" (fun () ->
+        let tagged = udp_pkt ~vlans:[ Vlan.make 101 ] () in
+        let untagged = udp_pkt () in
+        check Alcotest.bool "absent hits untagged" true
+          (matches Of_match.(any |> vlan_absent) ~in_port:0 untagged);
+        check Alcotest.bool "absent misses tagged" false
+          (matches Of_match.(any |> vlan_absent) ~in_port:0 tagged);
+        check Alcotest.bool "present hits tagged" true
+          (matches Of_match.(any |> vlan_present) ~in_port:0 tagged);
+        check Alcotest.bool "present misses untagged" false
+          (matches Of_match.(any |> vlan_present) ~in_port:0 untagged);
+        check Alcotest.bool "vid hits" true
+          (matches Of_match.(any |> vid 101) ~in_port:0 tagged);
+        check Alcotest.bool "vid misses" false
+          (matches Of_match.(any |> vid 102) ~in_port:0 tagged));
+    tc "ip prefix match" (fun () ->
+        let m = Of_match.(any |> ip_dst (prefix "10.0.0.0/24")) in
+        check Alcotest.bool "hit" true (matches m ~in_port:0 (udp_pkt ()));
+        check Alcotest.bool "miss" false
+          (matches m ~in_port:0 (udp_pkt ~ip_dst:(ip "10.0.1.2") ())));
+    tc "ip field test fails on non-ip (prerequisite)" (fun () ->
+        let m = Of_match.(any |> ip_src (prefix "10.0.0.1/32")) in
+        let arp =
+          Packet.arp_request ~src_mac:(mac 1) ~src_ip:(ip "10.0.0.1")
+            ~target_ip:(ip "10.0.0.2")
+        in
+        check Alcotest.bool "arp misses" false (matches m ~in_port:0 arp));
+    tc "l4 ports" (fun () ->
+        let m = Of_match.(any |> ip_proto 17 |> l4_dst 80) in
+        check Alcotest.bool "hit" true (matches m ~in_port:0 (udp_pkt ()));
+        check Alcotest.bool "miss" false
+          (matches m ~in_port:0 (udp_pkt ~dport:443 ())));
+    tc "wildcard_count" (fun () ->
+        check Alcotest.int "any" 12 (Of_match.wildcard_count Of_match.any);
+        check Alcotest.int "one" 11
+          (Of_match.wildcard_count Of_match.(any |> in_port 1)));
+    prop "subsumes is sound"
+      (QCheck2.Gen.triple Gen.packet_gen
+         (QCheck2.Gen.oneofl
+            [
+              Of_match.any;
+              Of_match.(any |> eth_type 0x0800);
+              Of_match.(any |> vlan_present);
+              Of_match.(any |> ip_dst (prefix "10.0.0.0/8"));
+              Of_match.(any |> ip_dst (prefix "10.1.0.0/16"));
+              Of_match.(any |> in_port 1);
+            ])
+         (QCheck2.Gen.oneofl
+            [
+              Of_match.(any |> eth_type 0x0800 |> ip_dst (prefix "10.1.2.0/24"));
+              Of_match.(any |> vid 101);
+              Of_match.(any |> in_port 1 |> eth_type 0x0806);
+              Of_match.any;
+            ]))
+      ~print:(fun (pkt, _, _) -> Gen.packet_print pkt)
+      (fun (pkt, a, b) ->
+        (* if a subsumes b, every packet matching b matches a (any port) *)
+        (not (Of_match.subsumes a b))
+        || (not (matches b ~in_port:1 pkt))
+        || matches a ~in_port:1 pkt);
+  ]
+
+(* ---- Actions ---- *)
+
+let action_tests =
+  [
+    tc "push/set/pop vlan" (fun () ->
+        let pkt = udp_pkt () in
+        let tagged = Of_action.apply_rewrite Of_action.Push_vlan pkt in
+        check Alcotest.(option int) "pushed vid 0" (Some 0) (Packet.outer_vid tagged);
+        let set = Of_action.apply_rewrite (Of_action.Set_vlan_vid 42) tagged in
+        check Alcotest.(option int) "set" (Some 42) (Packet.outer_vid set);
+        let popped = Of_action.apply_rewrite Of_action.Pop_vlan set in
+        check Alcotest.bool "back" true (Packet.equal popped pkt));
+    tc "set_vlan on untagged is a no-op" (fun () ->
+        let pkt = udp_pkt () in
+        check Alcotest.bool "unchanged" true
+          (Packet.equal pkt (Of_action.apply_rewrite (Of_action.Set_vlan_vid 9) pkt)));
+    tc "eth and ip rewrites" (fun () ->
+        let pkt = udp_pkt () in
+        let pkt = Of_action.apply_rewrite (Of_action.Set_eth_dst (mac 42)) pkt in
+        let pkt = Of_action.apply_rewrite (Of_action.Set_ip_dst (ip "1.2.3.4")) pkt in
+        check Alcotest.bool "mac" true (Mac_addr.equal pkt.Packet.dst (mac 42));
+        match pkt.Packet.l3 with
+        | Packet.Ip hdr ->
+            check Alcotest.string "ip" "1.2.3.4" (Ipv4_addr.to_string hdr.Ipv4.dst)
+        | _ -> Alcotest.fail "not ip");
+    tc "l4 rewrite on udp and tcp" (fun () ->
+        let u = Of_action.apply_rewrite (Of_action.Set_l4_dst 8080) (udp_pkt ()) in
+        (match (Packet.Fields.of_packet u).Packet.Fields.l4_dst with
+        | Some 8080 -> ()
+        | _ -> Alcotest.fail "udp port not rewritten");
+        let t =
+          Packet.tcp ~dst:(mac 2) ~src:(mac 1) ~ip_src:(ip "10.0.0.1")
+            ~ip_dst:(ip "10.0.0.2") ~src_port:5 ~dst_port:6 "x"
+        in
+        let t = Of_action.apply_rewrite (Of_action.Set_l4_src 9999) t in
+        match (Packet.Fields.of_packet t).Packet.Fields.l4_src with
+        | Some 9999 -> ()
+        | _ -> Alcotest.fail "tcp port not rewritten");
+    tc "l4 rewrite on arp is a no-op" (fun () ->
+        let arp =
+          Packet.arp_request ~src_mac:(mac 1) ~src_ip:(ip "10.0.0.1")
+            ~target_ip:(ip "10.0.0.2")
+        in
+        check Alcotest.bool "unchanged" true
+          (Packet.equal arp (Of_action.apply_rewrite (Of_action.Set_l4_src 1) arp)));
+    tc "rewritten packets still encode (checksums recomputed)" (fun () ->
+        let pkt = Of_action.apply_rewrite (Of_action.Set_ip_dst (ip "8.8.8.8")) (udp_pkt ()) in
+        let decoded = Packet.decode (Packet.encode pkt) in
+        check Alcotest.bool "valid" true (Packet.equal pkt decoded));
+  ]
+
+(* ---- Flow tables ---- *)
+
+let entry ?(priority = 1000) match_ actions =
+  Flow_entry.make ~priority ~match_ [ Flow_entry.Apply_actions actions ]
+
+let flow_table_tests =
+  [
+    tc "priority order wins" (fun () ->
+        let t = Flow_table.create () in
+        Flow_table.add t ~now_ns:0
+          (entry ~priority:10 Of_match.any [ Of_action.output 1 ]);
+        Flow_table.add t ~now_ns:0
+          (entry ~priority:20 Of_match.(any |> eth_type 0x0800) [ Of_action.output 2 ]);
+        let f = Packet.Fields.of_packet (udp_pkt ()) in
+        match Flow_table.lookup t ~in_port:0 f with
+        | Some e -> check Alcotest.int "prio" 20 e.Flow_entry.priority
+        | None -> Alcotest.fail "no match");
+    tc "equal priority: first added wins" (fun () ->
+        let t = Flow_table.create () in
+        Flow_table.add t ~now_ns:0
+          (entry Of_match.(any |> eth_type 0x0800) [ Of_action.output 1 ]);
+        Flow_table.add t ~now_ns:0
+          (entry Of_match.(any |> ip_proto 17) [ Of_action.output 2 ]);
+        let f = Packet.Fields.of_packet (udp_pkt ()) in
+        match Flow_table.lookup t ~in_port:0 f with
+        | Some e ->
+            check Alcotest.bool "first" true
+              (Flow_entry.actions e = [ Of_action.output 1 ])
+        | None -> Alcotest.fail "no match");
+    tc "identical match+priority replaces" (fun () ->
+        let t = Flow_table.create () in
+        Flow_table.add t ~now_ns:0 (entry Of_match.any [ Of_action.output 1 ]);
+        Flow_table.add t ~now_ns:0 (entry Of_match.any [ Of_action.output 2 ]);
+        check Alcotest.int "one entry" 1 (Flow_table.size t);
+        match Flow_table.entries t with
+        | [ e ] ->
+            check Alcotest.bool "new actions" true
+              (Flow_entry.actions e = [ Of_action.output 2 ])
+        | _ -> Alcotest.fail "expected one entry");
+    tc "strict delete" (fun () ->
+        let t = Flow_table.create () in
+        Flow_table.add t ~now_ns:0 (entry ~priority:10 Of_match.any [ Of_action.output 1 ]);
+        Flow_table.add t ~now_ns:0 (entry ~priority:20 Of_match.any [ Of_action.output 2 ]);
+        let removed = Flow_table.delete t ~strict:true Of_match.any ~priority:10 in
+        check Alcotest.int "one removed" 1 removed;
+        check Alcotest.int "one left" 1 (Flow_table.size t));
+    tc "non-strict delete removes subsumed" (fun () ->
+        let t = Flow_table.create () in
+        Flow_table.add t ~now_ns:0
+          (entry Of_match.(any |> eth_type 0x0800 |> ip_dst (prefix "10.0.1.0/24"))
+             [ Of_action.output 1 ]);
+        Flow_table.add t ~now_ns:0
+          (entry Of_match.(any |> eth_type 0x0800 |> ip_dst (prefix "10.0.2.0/24"))
+             [ Of_action.output 2 ]);
+        Flow_table.add t ~now_ns:0
+          (entry Of_match.(any |> eth_type 0x0806) [ Of_action.output 3 ]);
+        let removed =
+          Flow_table.delete t ~strict:false
+            Of_match.(any |> eth_type 0x0800 |> ip_dst (prefix "10.0.0.0/16"))
+            ~priority:0
+        in
+        check Alcotest.int "two removed" 2 removed;
+        check Alcotest.int "arp stays" 1 (Flow_table.size t));
+    tc "delete filtered by out_port" (fun () ->
+        let t = Flow_table.create () in
+        Flow_table.add t ~now_ns:0
+          (entry Of_match.(any |> eth_type 0x0800) [ Of_action.output 1 ]);
+        Flow_table.add t ~now_ns:0
+          (entry Of_match.(any |> eth_type 0x0806) [ Of_action.output 2 ]);
+        let removed = Flow_table.delete t ~strict:false ~out_port:2 Of_match.any ~priority:0 in
+        check Alcotest.int "only the port-2 rule" 1 removed);
+    tc "modify preserves counters" (fun () ->
+        let t = Flow_table.create () in
+        let e = entry Of_match.any [ Of_action.output 1 ] in
+        Flow_table.add t ~now_ns:0 e;
+        Flow_table.hit t ~now_ns:5 ~bytes:100 e;
+        let changed =
+          Flow_table.modify t ~strict:true Of_match.any ~priority:1000
+            [ Flow_entry.Apply_actions [ Of_action.output 9 ] ]
+        in
+        check Alcotest.int "changed" 1 changed;
+        match Flow_table.entries t with
+        | [ e' ] ->
+            check Alcotest.int "packets kept" 1 e'.Flow_entry.packets;
+            check Alcotest.bool "actions new" true
+              (Flow_entry.actions e' = [ Of_action.output 9 ])
+        | _ -> Alcotest.fail "expected one");
+    tc "idle and hard timeouts" (fun () ->
+        let t = Flow_table.create () in
+        let second = 1_000_000_000 in
+        Flow_table.add t ~now_ns:0
+          (Flow_entry.make ~idle_timeout_s:2 ~match_:Of_match.any
+             [ Flow_entry.Apply_actions [] ]);
+        Flow_table.add t ~now_ns:0
+          (Flow_entry.make ~priority:2 ~hard_timeout_s:10 ~match_:Of_match.any
+             [ Flow_entry.Apply_actions [] ]);
+        (* touch the idle one at t=1s so it survives to 2.9s *)
+        (match Flow_table.entries t with
+        | entries ->
+            List.iter
+              (fun e ->
+                if e.Flow_entry.idle_timeout_s <> None then
+                  Flow_table.hit t ~now_ns:second ~bytes:1 e)
+              entries);
+        check Alcotest.int "nothing at 2.9s" 0
+          (List.length (Flow_table.expire t ~now_ns:(29 * second / 10)));
+        check Alcotest.int "idle expires at 3.1s" 1
+          (List.length (Flow_table.expire t ~now_ns:(31 * second / 10)));
+        check Alcotest.int "hard expires at 11s" 1
+          (List.length (Flow_table.expire t ~now_ns:(11 * second))));
+    tc "capacity raises Table_full" (fun () ->
+        let t = Flow_table.create ~max_entries:2 () in
+        Flow_table.add t ~now_ns:0 (entry ~priority:1 Of_match.any []);
+        Flow_table.add t ~now_ns:0 (entry ~priority:2 Of_match.any []);
+        check Alcotest.bool "full" true
+          (try
+             Flow_table.add t ~now_ns:0 (entry ~priority:3 Of_match.any []);
+             false
+           with Flow_table.Table_full -> true));
+    tc "version bumps on mutation only" (fun () ->
+        let t = Flow_table.create () in
+        let v0 = Flow_table.version t in
+        Flow_table.add t ~now_ns:0 (entry Of_match.any []);
+        let v1 = Flow_table.version t in
+        check Alcotest.bool "bumped" true (v1 > v0);
+        ignore (Flow_table.lookup t ~in_port:0 (Packet.Fields.of_packet (udp_pkt ())));
+        check Alcotest.int "lookup no bump" v1 (Flow_table.version t));
+  ]
+
+(* ---- Groups ---- *)
+
+let group_tests =
+  [
+    tc "select is deterministic per flow hash" (fun () ->
+        let g = Group_table.create () in
+        Group_table.add g ~id:1 Group_table.Select
+          [
+            { Group_table.weight = 1; actions = [ Of_action.output 1 ] };
+            { Group_table.weight = 1; actions = [ Of_action.output 2 ] };
+          ];
+        let b1 = Group_table.select_buckets g ~id:1 ~flow_hash:12345 in
+        let b2 = Group_table.select_buckets g ~id:1 ~flow_hash:12345 in
+        check Alcotest.bool "same" true (b1 = b2);
+        check Alcotest.int "single" 1 (List.length b1));
+    tc "select respects weights" (fun () ->
+        let g = Group_table.create () in
+        Group_table.add g ~id:1 Group_table.Select
+          [
+            { Group_table.weight = 3; actions = [ Of_action.output 1 ] };
+            { Group_table.weight = 1; actions = [ Of_action.output 2 ] };
+          ];
+        let to_1 = ref 0 in
+        for h = 0 to 999 do
+          match Group_table.select_buckets g ~id:1 ~flow_hash:h with
+          | [ b ] -> if b.Group_table.actions = [ Of_action.output 1 ] then incr to_1
+          | _ -> ()
+        done;
+        check Alcotest.bool "~75%" true (!to_1 > 700 && !to_1 < 800));
+    tc "all returns every bucket" (fun () ->
+        let g = Group_table.create () in
+        Group_table.add g ~id:2 Group_table.All
+          [
+            { Group_table.weight = 0; actions = [ Of_action.output 1 ] };
+            { Group_table.weight = 0; actions = [ Of_action.output 2 ] };
+          ];
+        check Alcotest.int "two" 2
+          (List.length (Group_table.select_buckets g ~id:2 ~flow_hash:0)));
+    tc "indirect requires one bucket" (fun () ->
+        let g = Group_table.create () in
+        check Alcotest.bool "rejected" true
+          (try
+             Group_table.add g ~id:3 Group_table.Indirect [];
+             false
+           with Invalid_argument _ -> true));
+    tc "duplicate id rejected, modify works" (fun () ->
+        let g = Group_table.create () in
+        Group_table.add g ~id:1 Group_table.All [];
+        check Alcotest.bool "dup" true
+          (try Group_table.add g ~id:1 Group_table.All []; false
+           with Invalid_argument _ -> true);
+        Group_table.modify g ~id:1 Group_table.All
+          [ { Group_table.weight = 0; actions = [] } ];
+        check Alcotest.int "one bucket" 1
+          (List.length (Group_table.select_buckets g ~id:1 ~flow_hash:0));
+        check Alcotest.bool "modify absent" true
+          (try Group_table.modify g ~id:9 Group_table.All []; false
+           with Not_found -> true));
+  ]
+
+(* ---- Pipeline ---- *)
+
+let pipeline_tests =
+  [
+    tc "apply actions emit with current packet state" (fun () ->
+        let p = Pipeline.create ~num_tables:1 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (entry Of_match.any
+             [
+               Of_action.output 1;
+               Of_action.Set_eth_dst (mac 42);
+               Of_action.output 2;
+             ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        match r.Pipeline.outputs with
+        | [ Pipeline.Port (1, first); Pipeline.Port (2, second) ] ->
+            check Alcotest.bool "first unrewritten" true
+              (Mac_addr.equal first.Packet.dst (mac 2));
+            check Alcotest.bool "second rewritten" true
+              (Mac_addr.equal second.Packet.dst (mac 42))
+        | _ -> Alcotest.fail "wrong outputs");
+    tc "goto_table chains and write_actions defer" (fun () ->
+        let p = Pipeline.create ~num_tables:2 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [
+               Flow_entry.Write_actions [ Of_action.output 7 ];
+               Flow_entry.Goto_table 1;
+             ]);
+        Flow_table.add (Pipeline.table p 1) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [ Flow_entry.Apply_actions [ Of_action.Set_eth_dst (mac 5) ] ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        check Alcotest.bool "no miss" false r.Pipeline.table_miss;
+        check Alcotest.int "both matched" 2 (List.length r.Pipeline.matched);
+        match r.Pipeline.outputs with
+        | [ Pipeline.Port (7, pkt) ] ->
+            check Alcotest.bool "rewrite applied before deferred output" true
+              (Mac_addr.equal pkt.Packet.dst (mac 5))
+        | _ -> Alcotest.fail "wrong outputs");
+    tc "clear_actions cancels the action set" (fun () ->
+        let p = Pipeline.create ~num_tables:2 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [
+               Flow_entry.Write_actions [ Of_action.output 7 ];
+               Flow_entry.Goto_table 1;
+             ]);
+        Flow_table.add (Pipeline.table p 1) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any [ Flow_entry.Clear_actions ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        check Alcotest.int "dropped" 0 (List.length r.Pipeline.outputs));
+    tc "write_actions with a group as the final action" (fun () ->
+        let p = Pipeline.create ~num_tables:1 () in
+        Group_table.add (Pipeline.groups p) ~id:4 Group_table.Indirect
+          [ { Group_table.weight = 1; actions = [ Of_action.output 6 ] } ];
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [ Flow_entry.Write_actions [ Of_action.Group 4 ] ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        (match r.Pipeline.outputs with
+        | [ Pipeline.Port (6, _) ] -> ()
+        | _ -> Alcotest.fail "group in action set not executed"));
+    tc "same-kind rewrites in the action set replace, last wins" (fun () ->
+        let p = Pipeline.create ~num_tables:2 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [
+               Flow_entry.Write_actions
+                 [ Of_action.Set_eth_dst (mac 50); Of_action.output 1 ];
+               Flow_entry.Goto_table 1;
+             ]);
+        Flow_table.add (Pipeline.table p 1) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [ Flow_entry.Write_actions [ Of_action.Set_eth_dst (mac 60) ] ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        (match r.Pipeline.outputs with
+        | [ Pipeline.Port (1, pkt) ] ->
+            check Alcotest.bool "later write wins" true
+              (Mac_addr.equal pkt.Packet.dst (mac 60))
+        | _ -> Alcotest.fail "wrong outputs"));
+    tc "drop in write_actions clears the pending set" (fun () ->
+        let p = Pipeline.create ~num_tables:2 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [
+               Flow_entry.Write_actions [ Of_action.output 1 ];
+               Flow_entry.Goto_table 1;
+             ]);
+        Flow_table.add (Pipeline.table p 1) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any
+             [ Flow_entry.Write_actions [ Of_action.Drop ] ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        check Alcotest.int "nothing out" 0 (List.length r.Pipeline.outputs));
+    tc "miss in later table reported" (fun () ->
+        let p = Pipeline.create ~num_tables:2 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (Flow_entry.make ~match_:Of_match.any [ Flow_entry.Goto_table 1 ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        check Alcotest.bool "miss" true r.Pipeline.table_miss);
+    tc "select group picks one bucket, same flow same bucket" (fun () ->
+        let p = Pipeline.create ~num_tables:1 () in
+        Group_table.add (Pipeline.groups p) ~id:1 Group_table.Select
+          [
+            { Group_table.weight = 1; actions = [ Of_action.output 1 ] };
+            { Group_table.weight = 1; actions = [ Of_action.output 2 ] };
+          ];
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (entry Of_match.any [ Of_action.Group 1 ]);
+        let out pkt =
+          match (Pipeline.execute p ~now_ns:0 ~in_port:0 pkt).Pipeline.outputs with
+          | [ Pipeline.Port (n, _) ] -> n
+          | _ -> -1
+        in
+        let a = out (udp_pkt ~sport:1111 ()) in
+        check Alcotest.int "sticky" a (out (udp_pkt ~sport:1111 ()));
+        (* different flows should eventually use both buckets *)
+        let seen = List.sort_uniq Int.compare (List.init 64 (fun i -> out (udp_pkt ~sport:(2000 + i) ()))) in
+        check Alcotest.bool "both used" true (List.length seen = 2));
+    tc "flood and controller outputs" (fun () ->
+        let p = Pipeline.create ~num_tables:1 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0
+          (entry Of_match.any
+             [ Of_action.Output Of_action.Flood; Of_action.Output (Of_action.Controller 128) ]);
+        let r = Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()) in
+        match r.Pipeline.outputs with
+        | [ Pipeline.Flood _; Pipeline.Controller (128, _) ] -> ()
+        | _ -> Alcotest.fail "wrong outputs");
+    tc "counters updated on hits" (fun () ->
+        let p = Pipeline.create ~num_tables:1 () in
+        Flow_table.add (Pipeline.table p 0) ~now_ns:0 (entry Of_match.any []);
+        ignore (Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()));
+        ignore (Pipeline.execute p ~now_ns:0 ~in_port:0 (udp_pkt ()));
+        match Flow_table.entries (Pipeline.table p 0) with
+        | [ e ] ->
+            check Alcotest.int "2 packets" 2 e.Flow_entry.packets;
+            check Alcotest.bool "bytes counted" true (e.Flow_entry.bytes > 0)
+        | _ -> Alcotest.fail "one entry expected");
+    tc "flow_hash ignores non-5-tuple fields" (fun () ->
+        let base = udp_pkt () in
+        let f1 = Packet.Fields.of_packet base in
+        let f2 = Packet.Fields.of_packet { base with Packet.dst = mac 77 } in
+        check Alcotest.int "same hash" (Pipeline.flow_hash f1) (Pipeline.flow_hash f2));
+  ]
+
+let suite =
+  [
+    ("openflow.match", match_tests);
+    ("openflow.action", action_tests);
+    ("openflow.flow_table", flow_table_tests);
+    ("openflow.group", group_tests);
+    ("openflow.pipeline", pipeline_tests);
+  ]

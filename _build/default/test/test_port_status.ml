@@ -1,0 +1,82 @@
+open Simnet
+open Openflow
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let mac i = Mac_addr.make_local i
+
+let port_status_tests =
+  [
+    tc "agent emits port-status on link attach and detach" (fun () ->
+        let engine = Engine.create () in
+        let sw = Softswitch.Soft_switch.create engine ~name:"s" ~ports:2 () in
+        let events = ref [] in
+        Softswitch.Soft_switch.set_controller sw (function
+          | Of_message.Port_status { port_no; up } -> events := (port_no, up) :: !events
+          | _ -> ());
+        let stub = Node.create engine ~name:"stub" ~ports:1 in
+        let link = Link.connect (stub, 0) (Softswitch.Soft_switch.node sw, 1) in
+        Link.disconnect link;
+        check Alcotest.(list (pair int bool)) "up then down"
+          [ (1, true); (1, false) ]
+          (List.rev !events));
+    tc "codec round-trips port-status" (fun () ->
+        List.iter
+          (fun up ->
+            let m = Of_message.Port_status { port_no = 7; up } in
+            let m', _ = Of_codec.decode (Of_codec.encode m) in
+            check Alcotest.bool "same" true (m = m'))
+          [ true; false ]);
+    tc "l2 app flushes state on port-down and traffic re-floods" (fun () ->
+        (* Plain OF switch: h0 on port 0, h1 on port 1, spare stub on 2. *)
+        let engine = Engine.create () in
+        let sw = Softswitch.Soft_switch.create engine ~name:"s" ~ports:3 () in
+        let received = Array.make 3 0 in
+        let stubs =
+          Array.init 3 (fun i ->
+              let n = Node.create engine ~name:(Printf.sprintf "h%d" i) ~ports:1 in
+              Node.set_handler n (fun _ ~in_port:_ _ ->
+                  received.(i) <- received.(i) + 1);
+              (n, Link.connect (n, 0) (Softswitch.Soft_switch.node sw, i)))
+        in
+        let ctrl = Sdnctl.Controller.create engine () in
+        Sdnctl.Controller.add_app ctrl (Sdnctl.L2_learning.create ());
+        ignore (Sdnctl.Controller.attach_switch ctrl sw);
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 5));
+        let udp i j =
+          Packet.udp ~dst:(mac (j + 1)) ~src:(mac (i + 1))
+            ~ip_src:(Ipv4_addr.of_octets 10 0 0 (i + 1))
+            ~ip_dst:(Ipv4_addr.of_octets 10 0 0 (j + 1))
+            ~src_port:1 ~dst_port:2 "x"
+        in
+        let send i pkt = Node.transmit (fst stubs.(i)) ~port:0 pkt in
+        (* learn both directions so 0->1 is a hardware flow *)
+        send 0 (udp 0 1);
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 20));
+        send 1 (udp 1 0);
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 40));
+        send 0 (udp 0 1);
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 60));
+        check Alcotest.bool "flow installed" true
+          (Flow_table.size (Pipeline.table (Softswitch.Soft_switch.pipeline sw) 0) >= 1);
+        let before_flows =
+          Flow_table.size (Pipeline.table (Softswitch.Soft_switch.pipeline sw) 0)
+        in
+        (* kill h1's link: flows outputting to port 1 must be withdrawn *)
+        Link.disconnect (snd stubs.(1));
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 80));
+        let after_flows =
+          Flow_table.size (Pipeline.table (Softswitch.Soft_switch.pipeline sw) 0)
+        in
+        check Alcotest.bool "flows withdrawn" true (after_flows < before_flows);
+        (* new traffic to the dead mac floods (reaches stub 2) instead of
+           being blackholed by a stale flow *)
+        let spare_before = received.(2) in
+        send 0 (udp 0 1);
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 100));
+        check Alcotest.bool "re-floods" true (received.(2) > spare_before));
+  ]
+
+let suite = [ ("port_status", port_status_tests) ]

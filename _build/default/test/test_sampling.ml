@@ -1,0 +1,85 @@
+open Simnet
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let sampling_tests =
+  [
+    tc "every Nth packet is sampled to the controller" (fun () ->
+        let engine = Engine.create () in
+        let d =
+          match Harmless.Deployment.build_harmless engine ~num_hosts:2 () with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        let talkers = Sdnctl.Top_talkers.create () in
+        ignore
+          (Experiments_lib.Common.attach_with_apps d
+             [
+               Sdnctl.Top_talkers.app talkers;
+               Experiments_lib.Common.proactive_l2 ~num_hosts:2;
+             ]);
+        Softswitch.Soft_switch.set_sampling
+          (Harmless.Deployment.controller_switch d)
+          ~rate:(Some 10);
+        ignore
+          (Traffic.udp_stream ~rng:(Rng.create 1)
+             ~src:(Harmless.Deployment.host d 0)
+             ~dst_mac:(Harmless.Deployment.host_mac 1)
+             ~dst_ip:(Harmless.Deployment.host_ip 1)
+             ~stop:(Sim_time.add (Engine.now engine) (Sim_time.ms 10))
+             (Traffic.Cbr 100_000.0) (Traffic.Fixed 128) ());
+        Experiments_lib.Common.run_for engine (Sim_time.ms 30);
+        (* 1000 packets at rate 10 -> 100 samples *)
+        check Alcotest.int "sample count" 100 (Sdnctl.Top_talkers.samples talkers);
+        (* forwarding unaffected *)
+        check Alcotest.int "all delivered" 1000
+          (Host.udp_received (Harmless.Deployment.host d 1)));
+    tc "ranking reflects relative rates" (fun () ->
+        let engine = Engine.create () in
+        let d =
+          match Harmless.Deployment.build_harmless engine ~num_hosts:3 () with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        let talkers = Sdnctl.Top_talkers.create () in
+        ignore
+          (Experiments_lib.Common.attach_with_apps d
+             [
+               Sdnctl.Top_talkers.app talkers;
+               Experiments_lib.Common.proactive_l2 ~num_hosts:3;
+             ]);
+        Softswitch.Soft_switch.set_sampling
+          (Harmless.Deployment.controller_switch d)
+          ~rate:(Some 5);
+        let stream src rate =
+          ignore
+            (Traffic.udp_stream ~rng:(Rng.create src)
+               ~src:(Harmless.Deployment.host d src)
+               ~dst_mac:(Harmless.Deployment.host_mac 2)
+               ~dst_ip:(Harmless.Deployment.host_ip 2)
+               ~stop:(Sim_time.add (Engine.now engine) (Sim_time.ms 20))
+               (Traffic.Poisson rate) (Traffic.Fixed 128) ())
+        in
+        stream 0 90_000.0 (* heavy talker *);
+        stream 1 10_000.0 (* light talker *);
+        Experiments_lib.Common.run_for engine (Sim_time.ms 40);
+        (match Sdnctl.Top_talkers.ranking talkers with
+        | (top, _) :: _ ->
+            check Alcotest.string "host0 on top" "10.0.0.1"
+              (Netpkt.Ipv4_addr.to_string top)
+        | [] -> Alcotest.fail "no ranking");
+        let share =
+          Sdnctl.Top_talkers.estimated_share talkers (Harmless.Deployment.host_ip 0)
+        in
+        check Alcotest.bool "share ~0.9" true (share > 0.8 && share < 0.98));
+    tc "bad rate rejected, None disables" (fun () ->
+        let engine = Engine.create () in
+        let sw = Softswitch.Soft_switch.create engine ~name:"s" ~ports:1 () in
+        check Alcotest.bool "raises" true
+          (try Softswitch.Soft_switch.set_sampling sw ~rate:(Some 0); false
+           with Invalid_argument _ -> true);
+        Softswitch.Soft_switch.set_sampling sw ~rate:None);
+  ]
+
+let suite = [ ("sampling", sampling_tests) ]

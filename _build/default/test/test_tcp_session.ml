@@ -1,0 +1,169 @@
+open Simnet
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* Two hosts over a configurable link. *)
+let pair ?(cfg = Link.gige) () =
+  let engine = Engine.create () in
+  let a =
+    Host.create engine ~name:"a" ~mac:(Mac_addr.make_local 1)
+      ~ip:(Ipv4_addr.of_string "10.0.0.1") ()
+  in
+  let b =
+    Host.create engine ~name:"b" ~mac:(Mac_addr.make_local 2)
+      ~ip:(Ipv4_addr.of_string "10.0.0.2") ()
+  in
+  ignore (Link.connect ~a_to_b:cfg ~b_to_a:cfg (Host.node a, 0) (Host.node b, 0));
+  (engine, a, b)
+
+let transfer ?cfg payload =
+  let engine, a, b = pair ?cfg () in
+  let server = Tcp_session.listen b ~port:80 in
+  let client =
+    Tcp_session.connect a ~dst_mac:(Host.mac b) ~dst_ip:(Host.ip b) ~dst_port:80 ()
+  in
+  Tcp_session.send client payload;
+  Tcp_session.close client;
+  Engine.run engine ~max_events:5_000_000;
+  (client, server)
+
+let session_tests =
+  [
+    tc "handshake establishes both ends" (fun () ->
+        let engine, a, b = pair () in
+        let server = Tcp_session.listen b ~port:80 in
+        let client =
+          Tcp_session.connect a ~dst_mac:(Host.mac b) ~dst_ip:(Host.ip b)
+            ~dst_port:80 ()
+        in
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 5));
+        check Alcotest.bool "client up" true
+          (Tcp_session.state client = Tcp_session.Established
+          || Tcp_session.state client = Tcp_session.Closed);
+        check Alcotest.bool "server past listen" true
+          (Tcp_session.state server <> Tcp_session.Listening));
+    tc "small transfer delivers exactly" (fun () ->
+        let _, server = transfer "hello, harmless world" in
+        check Alcotest.string "delivered" "hello, harmless world"
+          (Tcp_session.received server));
+    tc "multi-segment transfer (100 KB) delivers exactly" (fun () ->
+        let payload = String.init 100_000 (fun i -> Char.chr (i land 0xff)) in
+        let client, server = transfer payload in
+        check Alcotest.int "length" 100_000 (String.length (Tcp_session.received server));
+        check Alcotest.bool "content" true
+          (String.equal payload (Tcp_session.received server));
+        check Alcotest.int "all acked" 100_000 (Tcp_session.bytes_acked client);
+        check Alcotest.bool "both closed" true
+          (Tcp_session.state client = Tcp_session.Closed
+          && Tcp_session.state server = Tcp_session.Closed));
+    tc "no retransmissions on a clean link" (fun () ->
+        let client, server = transfer (String.make 50_000 'x') in
+        check Alcotest.int "client rtx" 0 (Tcp_session.retransmissions client);
+        check Alcotest.int "server rtx" 0 (Tcp_session.retransmissions server));
+    tc "5% loss: transfer still exact, with retransmissions" (fun () ->
+        let cfg = Link.config ~loss:0.05 ~impair_seed:17 () in
+        let payload = String.init 80_000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+        let client, server = transfer ~cfg payload in
+        check Alcotest.bool "content exact" true
+          (String.equal payload (Tcp_session.received server));
+        check Alcotest.bool "recovered via rtx" true
+          (Tcp_session.retransmissions client > 0));
+    tc "20% loss: still exact" (fun () ->
+        let cfg = Link.config ~loss:0.2 ~impair_seed:23 () in
+        let payload = String.make 20_000 'z' in
+        let _, server = transfer ~cfg payload in
+        check Alcotest.bool "content exact" true
+          (String.equal payload (Tcp_session.received server)));
+    tc "send after close rejected" (fun () ->
+        let engine, a, b = pair () in
+        ignore (Tcp_session.listen b ~port:80);
+        let client =
+          Tcp_session.connect a ~dst_mac:(Host.mac b) ~dst_ip:(Host.ip b)
+            ~dst_port:80 ()
+        in
+        Tcp_session.send client "data";
+        Tcp_session.close client;
+        Engine.run engine ~max_events:100_000;
+        check Alcotest.bool "raises" true
+          (try Tcp_session.send client "more"; false
+           with Invalid_argument _ -> true));
+    tc "transfer through HARMLESS with a lossy access link" (fun () ->
+        let engine = Engine.create () in
+        let lossy = Link.config ~loss:0.05 ~impair_seed:31 () in
+        let d =
+          match
+            Harmless.Deployment.build_harmless engine ~num_hosts:2 ~host_link:lossy ()
+          with
+          | Ok d -> d
+          | Error m -> failwith m
+        in
+        ignore
+          (Experiments_lib.Common.attach_with_apps d
+             [ Experiments_lib.Common.proactive_l2 ~num_hosts:2 ]);
+        let server = Tcp_session.listen (Harmless.Deployment.host d 1) ~port:80 in
+        let client =
+          Tcp_session.connect
+            (Harmless.Deployment.host d 0)
+            ~dst_mac:(Harmless.Deployment.host_mac 1)
+            ~dst_ip:(Harmless.Deployment.host_ip 1)
+            ~dst_port:80 ()
+        in
+        let payload = String.init 60_000 (fun i -> Char.chr ((i * 13) land 0xff)) in
+        Tcp_session.send client payload;
+        Tcp_session.close client;
+        Engine.run engine ~max_events:5_000_000;
+        check Alcotest.bool "exact through the fabric" true
+          (String.equal payload (Tcp_session.received server));
+        check Alcotest.bool "losses actually happened" true
+          (Tcp_session.retransmissions client > 0));
+  ]
+
+let bidirectional_tests =
+  [
+    tc "both directions carry data on one connection" (fun () ->
+        let engine, a, b = pair () in
+        let server = Tcp_session.listen b ~port:80 in
+        let client =
+          Tcp_session.connect a ~dst_mac:(Host.mac b) ~dst_ip:(Host.ip b)
+            ~dst_port:80 ()
+        in
+        let up = String.init 30_000 (fun i -> Char.chr ((i * 3) land 0xff)) in
+        let down = String.init 45_000 (fun i -> Char.chr ((i * 5) land 0xff)) in
+        Tcp_session.send client up;
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 2));
+        Tcp_session.send server down;
+        Engine.run engine ~max_events:1_000_000;
+        Tcp_session.close client;
+        Engine.run engine ~max_events:1_000_000;
+        check Alcotest.bool "upstream exact" true
+          (String.equal up (Tcp_session.received server));
+        check Alcotest.bool "downstream exact" true
+          (String.equal down (Tcp_session.received client));
+        check Alcotest.bool "both closed" true
+          (Tcp_session.state client = Tcp_session.Closed
+          && Tcp_session.state server = Tcp_session.Closed));
+    tc "bidirectional under loss stays exact" (fun () ->
+        let cfg = Link.config ~loss:0.05 ~impair_seed:47 () in
+        let engine, a, b = pair ~cfg () in
+        let server = Tcp_session.listen b ~port:80 in
+        let client =
+          Tcp_session.connect a ~dst_mac:(Host.mac b) ~dst_ip:(Host.ip b)
+            ~dst_port:80 ()
+        in
+        let up = String.make 15_000 'u' and down = String.make 15_000 'd' in
+        Tcp_session.send client up;
+        Engine.run engine ~until:(Sim_time.of_ns (Sim_time.ms 2));
+        Tcp_session.send server down;
+        Engine.run engine ~max_events:2_000_000;
+        Tcp_session.close client;
+        Engine.run engine ~max_events:2_000_000;
+        check Alcotest.bool "upstream exact" true
+          (String.equal up (Tcp_session.received server));
+        check Alcotest.bool "downstream exact" true
+          (String.equal down (Tcp_session.received client)));
+  ]
+
+let suite =
+  [ ("tcp_session", session_tests); ("tcp_session.bidir", bidirectional_tests) ]

@@ -1,0 +1,67 @@
+open Netpkt
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 200) gen ~print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let wire_tests =
+  [
+    tc "writer produces big-endian bytes" (fun () ->
+        let w = Wire.W.create () in
+        Wire.W.u8 w 0xab;
+        Wire.W.u16 w 0x1234;
+        Wire.W.u32 w 0xdeadbeefl;
+        Wire.W.bytes w "xy";
+        check Alcotest.string "layout" "\xab\x12\x34\xde\xad\xbe\xefxy"
+          (Wire.W.contents w);
+        check Alcotest.int "length" 9 (Wire.W.length w));
+    tc "values are masked to their width" (fun () ->
+        let w = Wire.W.create () in
+        Wire.W.u8 w 0x1ff;
+        Wire.W.u16 w 0x12345;
+        check Alcotest.string "masked" "\xff\x23\x45" (Wire.W.contents w));
+    tc "reader tracks position and remaining" (fun () ->
+        let r = Wire.R.create "\x01\x02\x03\x04\x05" in
+        check Alcotest.int "u8" 1 (Wire.R.u8 ~ctx:"t" r);
+        check Alcotest.int "u16" 0x0203 (Wire.R.u16 ~ctx:"t" r);
+        check Alcotest.int "pos" 3 (Wire.R.pos r);
+        check Alcotest.int "remaining" 2 (Wire.R.remaining r);
+        check Alcotest.string "rest" "\x04\x05" (Wire.R.rest r);
+        check Alcotest.int "drained" 0 (Wire.R.remaining r));
+    tc "reads beyond the end raise Truncated with context" (fun () ->
+        let r = Wire.R.create "\x01" in
+        check Alcotest.bool "u16 truncated" true
+          (try ignore (Wire.R.u16 ~ctx:"demo" r); false
+           with Wire.Truncated "demo" -> true);
+        (* the failed read must not consume anything *)
+        check Alcotest.int "pos unchanged" 0 (Wire.R.pos r);
+        check Alcotest.int "u8 still works" 1 (Wire.R.u8 ~ctx:"demo" r));
+    tc "skip honours bounds" (fun () ->
+        let r = Wire.R.create "\x01\x02\x03" in
+        Wire.R.skip ~ctx:"t" r 2;
+        check Alcotest.bool "over-skip" true
+          (try Wire.R.skip ~ctx:"t" r 2; false with Wire.Truncated _ -> true));
+    tc "offset reader starts mid-string" (fun () ->
+        let r = Wire.R.create ~pos:2 "\x01\x02\x03\x04" in
+        check Alcotest.int "u16 from offset" 0x0304 (Wire.R.u16 ~ctx:"t" r));
+    prop "u32 round-trips"
+      (QCheck2.Gen.map Int32.of_int (QCheck2.Gen.int_bound 0x3fffffff))
+      ~print:Int32.to_string
+      (fun v ->
+        let w = Wire.W.create () in
+        Wire.W.u32 w v;
+        Int32.equal v (Wire.R.u32 ~ctx:"t" (Wire.R.create (Wire.W.contents w))));
+    prop "byte strings round-trip through bytes/rest" Gen.payload_gen
+      ~print:String.escaped
+      (fun s ->
+        let w = Wire.W.create () in
+        Wire.W.u16 w (String.length s);
+        Wire.W.bytes w s;
+        let r = Wire.R.create (Wire.W.contents w) in
+        let n = Wire.R.u16 ~ctx:"t" r in
+        String.equal s (Wire.R.bytes ~ctx:"t" r n));
+  ]
+
+let suite = [ ("netpkt.wire", wire_tests) ]
