@@ -165,6 +165,121 @@ let pcap_cmd =
     (Cmd.info "pcap" ~doc:"capture the Fig. 1 ping into a pcap file")
     Term.(const run_pcap $ pcap_out)
 
+(* ---- shared: the quickstart scenario ----
+
+   A 4-host HARMLESS deployment with an L2-learning controller.  Runs
+   the control-plane handshake, then a warm-up ping (h0 -> h1) so MAC
+   tables and flow tables reach steady state, leaving the engine at
+   t = 50 ms ready for an observed second ping. *)
+
+let build_scenario () =
+  let engine = Simnet.Engine.create () in
+  let deployment =
+    match Harmless.Deployment.build_harmless engine ~num_hosts:4 () with
+    | Ok d -> d
+    | Error msg -> failwith msg
+  in
+  let ctrl = Sdnctl.Controller.create engine () in
+  Sdnctl.Controller.add_app ctrl (Sdnctl.L2_learning.create ());
+  ignore
+    (Sdnctl.Controller.attach_switch ctrl
+       (Harmless.Deployment.controller_switch deployment));
+  Simnet.Engine.run engine ~until:(Simnet.Sim_time.of_ns (Simnet.Sim_time.ms 5));
+  let ping ~seq src dst =
+    Simnet.Host.ping
+      (Harmless.Deployment.host deployment src)
+      ~dst_mac:(Harmless.Deployment.host_mac dst)
+      ~dst_ip:(Harmless.Deployment.host_ip dst)
+      ~seq
+  in
+  ping ~seq:1 0 1;
+  Simnet.Engine.run engine ~until:(Simnet.Sim_time.of_ns (Simnet.Sim_time.ms 50));
+  (engine, deployment, ctrl, ping)
+
+(* ---- trace: hop-by-hop packet walk ---- *)
+
+let run_trace chrome_out =
+  let engine, deployment, _ctrl, ping = build_scenario () in
+  (* Steady state reached: trace the second ping. *)
+  let (), traces_and_hops =
+    let collector = Telemetry.Trace.Collector.create () in
+    Telemetry.Trace.Collector.install collector;
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Trace.Collector.uninstall collector)
+      (fun () ->
+        ping ~seq:2 0 1;
+        Simnet.Engine.run engine
+          ~until:(Simnet.Sim_time.of_ns (Simnet.Sim_time.ms 100)));
+    ( (),
+      ( Telemetry.Trace.Collector.traces collector,
+        Telemetry.Trace.Collector.hops collector ) )
+  in
+  let traces, hops = traces_and_hops in
+  let view = Harmless.Trace_view.of_deployment deployment in
+  Format.printf
+    "ping h0 -> h1 through the HARMLESS deployment (steady state):@.@.";
+  List.iter (fun tr -> Format.printf "%a@." (Harmless.Trace_view.pp_trace view) tr) traces;
+  (match chrome_out with
+  | None -> ()
+  | Some path -> (
+      match Telemetry.Chrome_trace.save ~path hops with
+      | () ->
+          Format.printf
+            "wrote %s (%d events; load it in chrome://tracing or Perfetto)@."
+            path (List.length hops)
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write chrome trace: %s\n" msg;
+          exit 1))
+
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:"Also export the hops as a Chrome trace-event JSON file.")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"trace a ping hop-by-hop through the HARMLESS data path")
+    Term.(const run_trace $ chrome_arg)
+
+(* ---- metrics: registry snapshot ---- *)
+
+let run_metrics format =
+  let engine, deployment, ctrl, _ping = build_scenario () in
+  let registry = Telemetry.Registry.default in
+  Simnet.Engine.publish_metrics ~registry engine;
+  Sdnctl.Controller.publish_metrics ~registry ctrl;
+  (match deployment.Harmless.Deployment.kind with
+  | Harmless.Deployment.Harmless { legacy; prov; _ } ->
+      Ethswitch.Legacy_switch.publish_metrics ~registry legacy;
+      Softswitch.Soft_switch.publish_metrics ~registry
+        prov.Harmless.Manager.ss1;
+      Softswitch.Soft_switch.publish_metrics ~registry
+        prov.Harmless.Manager.ss2
+  | _ -> ());
+  match format with
+  | `Prometheus -> print_string (Telemetry.Registry.to_prometheus registry)
+  | `Json ->
+      print_endline (Telemetry.Registry.to_json registry)
+
+let metrics_format_arg =
+  let fmt_conv =
+    Arg.enum [ ("prometheus", `Prometheus); ("prom", `Prometheus); ("json", `Json) ]
+  in
+  Arg.(
+    value
+    & opt fmt_conv `Prometheus
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Exposition format: $(b,prometheus) (text) or $(b,json).")
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"run the quickstart scenario and dump the metrics registry")
+    Term.(const run_metrics $ metrics_format_arg)
+
 (* ---- walkthrough ---- *)
 
 let run_walkthrough () =
@@ -179,6 +294,9 @@ let main =
   Cmd.group
     (Cmd.info "harmlessctl" ~version:"1.0"
        ~doc:"operate the HARMLESS hybrid-SDN reproduction")
-    [ cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd ]
+    [
+      cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
+      trace_cmd; metrics_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

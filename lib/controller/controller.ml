@@ -6,6 +6,8 @@ type t = {
   mutable apps : app list;
   switches : (int64, Channel.t) Hashtbl.t;
   mutable packet_ins : int;
+  mutable packet_outs : int;
+  mutable flow_mods_sent : int;
   mutable errors : string list; (* newest first *)
   mutable stats_waiters : (int64 * (Of_message.flow_stat list -> unit)) list;
 }
@@ -34,6 +36,8 @@ let create engine ?channel_latency () =
     apps = [];
     switches = Hashtbl.create 8;
     packet_ins = 0;
+    packet_outs = 0;
+    flow_mods_sent = 0;
     errors = [];
     stats_waiters = [];
   }
@@ -47,13 +51,34 @@ let channel t dpid =
 
 let send t dpid msg = Channel.to_switch (channel t dpid) msg
 
-let install t dpid fm = send t dpid (Of_message.Flow_mod fm)
+let install t dpid fm =
+  t.flow_mods_sent <- t.flow_mods_sent + 1;
+  send t dpid (Of_message.Flow_mod fm)
 
 let packet_out t dpid ?in_port ~actions packet =
+  t.packet_outs <- t.packet_outs + 1;
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit
+      ~ts_ns:(Simnet.Sim_time.to_ns (Simnet.Engine.now t.engine))
+      ~component:"controller" ~layer:Telemetry.Trace.Controller
+      ~stage:"packet_out" ?port:in_port
+      ~detail:(Printf.sprintf "dpid=%Ld actions=%d" dpid (List.length actions))
+      packet;
   send t dpid (Of_message.Packet_out { in_port; actions; packet })
 
 let dispatch_packet_in t dpid ~in_port reason packet =
   t.packet_ins <- t.packet_ins + 1;
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit
+      ~ts_ns:(Simnet.Sim_time.to_ns (Simnet.Engine.now t.engine))
+      ~component:"controller" ~layer:Telemetry.Trace.Controller
+      ~stage:"packet_in" ~port:in_port
+      ~detail:
+        (Printf.sprintf "dpid=%Ld reason=%s" dpid
+           (match reason with
+           | Of_message.No_match -> "no_match"
+           | Of_message.Action_to_controller -> "action"))
+      packet;
   let rec offer = function
     | [] -> ()
     | app :: rest ->
@@ -103,6 +128,17 @@ let attach_switch t switch =
 let switch_ids t = Hashtbl.fold (fun dpid _ acc -> dpid :: acc) t.switches []
 let packet_ins_received t = t.packet_ins
 let errors_received t = List.rev t.errors
+
+let publish_metrics ?registry ?(labels = []) t =
+  Telemetry.Registry.publish_ints ?registry ~prefix:"controller" ~labels
+    [
+      ("packet_ins", t.packet_ins);
+      ("packet_outs", t.packet_outs);
+      ("flow_mods_sent", t.flow_mods_sent);
+      ("errors", List.length t.errors);
+      ("switches", Hashtbl.length t.switches);
+      ("apps", List.length t.apps);
+    ]
 
 let flow_stats t dpid ~on_reply =
   t.stats_waiters <- t.stats_waiters @ [ (dpid, on_reply) ];

@@ -48,8 +48,16 @@ val packet_out :
 
 val switch_ids : t -> int64 list
 val packet_ins_received : t -> int
+
 val errors_received : t -> string list
 (** Error messages from switches, oldest first. *)
+
+val publish_metrics :
+  ?registry:Telemetry.Registry.t -> ?labels:Telemetry.Registry.labels ->
+  t -> unit
+(** Snapshot controller tallies (packet-ins/outs, flow-mods sent,
+    errors, attached switches, apps) into gauges named [controller_*].
+    Pull-based. *)
 
 val flow_stats :
   t -> int64 -> on_reply:(Openflow.Of_message.flow_stat list -> unit) -> unit

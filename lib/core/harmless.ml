@@ -11,7 +11,9 @@
     - {!Scaleout}: several legacy switches behind one server;
     - {!Failover}: a standby trunk with watchdog-driven recovery;
     - {!Transparency}: the checker for the paper's central property —
-      the controller cannot tell HARMLESS from a real OpenFlow switch. *)
+      the controller cannot tell HARMLESS from a real OpenFlow switch;
+    - {!Trace_view}: renders telemetry hop traces in the paper's
+      vocabulary (tag push, SS_1 translate, hairpin, tag pop). *)
 
 module Port_map = Port_map
 module Translator = Translator
@@ -20,3 +22,4 @@ module Deployment = Deployment
 module Scaleout = Scaleout
 module Failover = Failover
 module Transparency = Transparency
+module Trace_view = Trace_view

@@ -36,9 +36,18 @@ let rules ?(trunk_port = trunk_port) ?(patch_base = 1) map =
     (List.init (Port_map.size map) Fun.id)
 
 let install ?trunk_port ?patch_base ss1 map =
+  let rules = rules ?trunk_port ?patch_base map in
+  (* Control-path event: account installed translation rules in the
+     process-wide registry so a metrics snapshot shows how much state
+     the transparency trick costs. *)
+  Telemetry.Registry.Counter.inc ~by:(List.length rules)
+    (Telemetry.Registry.Counter.v
+       ~help:"SS_1 VLAN<->patch translation rules installed"
+       ~labels:[ ("switch", Softswitch.Soft_switch.name ss1) ]
+       "harmless_translator_rules_installed_total");
   List.iter
     (fun fm -> Softswitch.Soft_switch.handle_message ss1 (Of_message.Flow_mod fm))
-    (rules ?trunk_port ?patch_base map)
+    rules
 
 let reinstall ?trunk_port ?patch_base ss1 map =
   Softswitch.Soft_switch.handle_message ss1

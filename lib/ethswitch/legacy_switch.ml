@@ -120,16 +120,34 @@ let vlans_in_use t =
 
 (* Send [inner] (the frame without its outer customer tag) out of [port],
    encapsulated for that port's membership of [vlan].  A configured SPAN
-   port additionally gets an untagged copy of everything that egresses. *)
-let egress t ~port ~vlan inner =
+   port additionally gets an untagged copy of everything that egresses.
+   [had_tag] says whether the frame carried an outer tag at ingress, so
+   the trace can distinguish a tag pop from plain untagged delivery. *)
+let egress t ~port ~vlan ~had_tag inner =
   let sent =
     match Port_config.egress_encap t.modes.(port) ~vlan with
     | None -> false
     | Some `Untagged ->
+        if Telemetry.Trace.enabled () then
+          Telemetry.Trace.emit
+            ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+            ~component:t.name ~layer:Telemetry.Trace.Legacy
+            ~stage:(if had_tag then "tag_pop" else "egress")
+            ~port
+            ~detail:(Printf.sprintf "vlan=%d untagged delivery" vlan)
+            inner;
         Node.transmit t.node ~port inner;
         true
     | Some (`Tagged vid) ->
-        Node.transmit t.node ~port (Packet.push_vlan (Vlan.make vid) inner);
+        let tagged = Packet.push_vlan (Vlan.make vid) inner in
+        if Telemetry.Trace.enabled () then
+          Telemetry.Trace.emit
+            ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+            ~component:t.name ~layer:Telemetry.Trace.Legacy ~stage:"tag_push"
+            ~port
+            ~detail:(Printf.sprintf "vid=%d" vid)
+            tagged;
+        Node.transmit t.node ~port tagged;
         true
   in
   match t.mirror with
@@ -142,6 +160,16 @@ let forward t ~in_port (pkt : Packet.t) =
   match Port_config.classify_ingress mode ~tag_vid:(Packet.outer_vid pkt) with
   | None -> Stats.Counter.incr c "drop_ingress_vlan"
   | Some vlan ->
+      let had_tag = Option.is_some (Packet.outer_vid pkt) in
+      if Telemetry.Trace.enabled () then
+        Telemetry.Trace.emit
+          ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+          ~component:t.name ~layer:Telemetry.Trace.Legacy ~stage:"ingress"
+          ~port:in_port
+          ~detail:
+            (Printf.sprintf "vlan=%d %s" vlan
+               (if had_tag then "(tagged)" else "(access)"))
+          pkt;
       (* Work with the frame stripped of its outer tag (if it had one). *)
       let inner =
         match Packet.pop_vlan pkt with Some (_, rest) -> rest | None -> pkt
@@ -154,7 +182,7 @@ let forward t ~in_port (pkt : Packet.t) =
       let flood () =
         Stats.Counter.incr c "flood";
         for port = 0 to Array.length t.modes - 1 do
-          if port <> in_port then egress t ~port ~vlan inner
+          if port <> in_port then egress t ~port ~vlan ~had_tag inner
         done
       in
       if not (Mac_addr.is_unicast pkt.Packet.dst) then begin
@@ -168,8 +196,14 @@ let forward t ~in_port (pkt : Packet.t) =
             Stats.Counter.incr c "drop_same_port"
         | Some out_port ->
             Stats.Counter.incr c "fwd";
-            egress t ~port:out_port ~vlan inner
+            egress t ~port:out_port ~vlan ~had_tag inner
       end
+
+let publish_metrics ?registry ?(labels = []) t =
+  let labels = ("device", t.name) :: labels in
+  Telemetry.Registry.publish_ints ?registry ~prefix:"ethswitch" ~labels
+    (Stats.Counter.to_list (Node.counters t.node)
+    @ [ ("mac_table_entries", Mac_table.entry_count t.mac_table) ])
 
 let create engine ~name ~ports ?(processing_delay = Sim_time.us 4)
     ?(mac_table_capacity = 8192) ?(mac_aging = Sim_time.s 300) () =

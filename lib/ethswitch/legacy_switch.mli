@@ -63,3 +63,10 @@ val set_mirror : t -> dst:int option -> unit
     [None] disables.  @raise Invalid_argument on a bad port. *)
 
 val mirror : t -> int option
+
+val publish_metrics :
+  ?registry:Telemetry.Registry.t -> ?labels:Telemetry.Registry.labels ->
+  t -> unit
+(** Snapshot the switch's forwarding counters and MAC-table occupancy
+    into gauges named [ethswitch_*].  Pull-based; nothing is recorded
+    until called. *)

@@ -45,3 +45,13 @@ let run ?until ?max_events t =
 
 let pending t = Event_queue.length t.queue
 let events_executed t = t.executed
+
+let publish_metrics ?registry ?labels t =
+  let set name v =
+    Telemetry.Registry.Gauge.set_int
+      (Telemetry.Registry.Gauge.v ?registry ?labels name)
+      v
+  in
+  set "sim_now_ns" (Sim_time.to_ns t.clock);
+  set "sim_events_executed" t.executed;
+  set "sim_events_pending" (Event_queue.length t.queue)

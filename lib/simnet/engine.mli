@@ -29,3 +29,10 @@ val pending : t -> int
 
 val events_executed : t -> int
 (** Total events executed since creation. *)
+
+val publish_metrics :
+  ?registry:Telemetry.Registry.t -> ?labels:Telemetry.Registry.labels ->
+  t -> unit
+(** Snapshot the engine's state ([sim_now_ns], [sim_events_executed],
+    [sim_events_pending]) into gauges.  Pull-based: call it when a
+    metrics export is wanted; nothing is recorded otherwise. *)

@@ -25,7 +25,12 @@ let node t = t.node
 let name t = t.name
 let mac t = t.mac
 let ip t = t.ip
-let send t pkt = Node.transmit t.node ~port:0 pkt
+let send t pkt =
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit
+      ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+      ~component:t.name ~layer:Telemetry.Trace.Host ~stage:"tx" ~port:0 pkt;
+  Node.transmit t.node ~port:0 pkt
 let enable_udp_echo t ~port = t.udp_echo_ports <- port :: t.udp_echo_ports
 let serve_http t ~pages = t.pages <- Some pages
 let serve_dns t ~records = t.dns_zone <- Some records
@@ -155,6 +160,10 @@ let handle_tcp t (pkt : Packet.t) (ip_hdr : Ipv4.t) (seg : Tcp.t) =
                (Packet.Ip (Ipv4.make ~src:t.ip ~dst:ip_hdr.Ipv4.src (Ipv4.Tcp reply_seg)))))
 
 let handle t pkt =
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit
+      ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+      ~component:t.name ~layer:Telemetry.Trace.Host ~stage:"rx" ~port:0 pkt;
   t.rx_log <- pkt :: t.rx_log;
   List.iter (fun f -> f pkt) t.user_rx;
   match pkt.Packet.l3 with

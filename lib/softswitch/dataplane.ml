@@ -14,6 +14,10 @@ type t = {
   process :
     now_ns:int -> in_port:int -> Netpkt.Packet.t -> Openflow.Pipeline.result * int;
   stats : unit -> (string * int) list;
+  tier : unit -> string;
+      (* which classification tier served the most recent packet —
+         ("emc" / "megaflow" / "upcall" for the OVS-like dataplane,
+         a constant for single-tier ones); feeds per-hop traces. *)
 }
 
 let cycles_of_result (r : Openflow.Pipeline.result) =

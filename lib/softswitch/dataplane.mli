@@ -44,6 +44,12 @@ type t = {
       (** Returns the forwarding decision and its cost in cycles. *)
   stats : unit -> (string * int) list;
       (** Implementation-specific counters (cache hits, recompiles, ...). *)
+  tier : unit -> string;
+      (** Which classification tier served the most recent packet
+          (["emc"] / ["megaflow"] / ["upcall"] for the OVS-like
+          dataplane; a constant for single-tier implementations).
+          Telemetry reads this right after [process] to annotate the
+          packet's pipeline hop. *)
 }
 
 val cycles_of_result : Openflow.Pipeline.result -> int

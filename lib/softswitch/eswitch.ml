@@ -250,4 +250,4 @@ let create pipeline =
       ("templates", template_count);
     ]
   in
-  { Dataplane.name = "eswitch"; process; stats }
+  { Dataplane.name = "eswitch"; process; stats; tier = (fun () -> "specialized") }

@@ -26,4 +26,4 @@ let create pipeline =
   let stats () =
     [ ("packets", !packets); ("entries_scanned", !scanned_total) ]
   in
-  { Dataplane.name = "linear"; process; stats }
+  { Dataplane.name = "linear"; process; stats; tier = (fun () -> "linear") }

@@ -112,6 +112,7 @@ let create ?(config = default_config) pipeline =
   let seen_version = ref (Pipeline.version pipeline) in
   let emc_hits = ref 0 and megaflow_hits = ref 0 and upcalls = ref 0 in
   let invalidations = ref 0 and packets = ref 0 in
+  let last_tier = ref "upcall" in
   let check_version () =
     let v = Pipeline.version pipeline in
     if v <> !seen_version then begin
@@ -176,6 +177,7 @@ let create ?(config = default_config) pipeline =
     match from_emc with
     | Some cached ->
         incr emc_hits;
+        last_tier := "emc";
         let result = replay pipeline cached ~now_ns ~in_port pkt in
         ( result,
           base + Dataplane.Cost.emc_probe + Dataplane.Cost.emc_hit_extra
@@ -186,6 +188,7 @@ let create ?(config = default_config) pipeline =
         match Hashtbl.find_opt megaflow mkey with
         | Some cached ->
             incr megaflow_hits;
+            last_tier := "megaflow";
             if config.emc_enabled then
               cache_insert emc emc_key cached config.emc_capacity;
             let result = replay pipeline cached ~now_ns ~in_port pkt in
@@ -193,6 +196,7 @@ let create ?(config = default_config) pipeline =
               base + emc_miss_cost + Dataplane.Cost.megaflow_probe
               + Dataplane.cycles_of_result result )
         | None ->
+            last_tier := "upcall";
             let result, slow_cycles = slow_path ~now_ns ~in_port pkt fields in
             ( result,
               base + emc_miss_cost + Dataplane.Cost.megaflow_probe + slow_cycles
@@ -208,4 +212,4 @@ let create ?(config = default_config) pipeline =
     ]
   in
   let name = if config.emc_enabled then "ovs" else "ovs-noemc" in
-  { Dataplane.name; process; stats }
+  { Dataplane.name; process; stats; tier = (fun () -> !last_tier) }

@@ -45,6 +45,7 @@ let hardware_dataplane pipeline =
     Dataplane.name = "hardware";
     process;
     stats = (fun () -> [ ("packets", !packets) ]);
+    tier = (fun () -> "tcam");
   }
 
 let set_sampling t ~rate =
@@ -60,26 +61,47 @@ let expire_flows t =
     ignore (Flow_table.expire (Pipeline.table t.pipeline i) ~now_ns)
   done
 
+let trace_tx t ~port ~detail pkt =
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit
+      ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+      ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"tx" ~port ~detail
+      pkt
+
 let resolve_outputs t ~in_port outputs =
   let ports = Node.port_count t.node in
   List.iter
     (fun output ->
       match output with
       | Pipeline.Port (p, pkt) ->
-          if p >= 0 && p < ports && p <> in_port then Node.transmit t.node ~port:p pkt
+          if p >= 0 && p < ports && p <> in_port then begin
+            trace_tx t ~port:p ~detail:"" pkt;
+            Node.transmit t.node ~port:p pkt
+          end
           else if p = in_port then () (* OF requires In_port for hairpin *)
           else Stats.Counter.incr (Node.counters t.node) "drop_bad_out_port"
-      | Pipeline.In_port pkt -> Node.transmit t.node ~port:in_port pkt
+      | Pipeline.In_port pkt ->
+          trace_tx t ~port:in_port ~detail:"in_port (hairpin)" pkt;
+          Node.transmit t.node ~port:in_port pkt
       | Pipeline.Flood pkt ->
           for p = 0 to ports - 1 do
-            if p <> in_port then Node.transmit t.node ~port:p pkt
+            if p <> in_port then begin
+              trace_tx t ~port:p ~detail:"flood" pkt;
+              Node.transmit t.node ~port:p pkt
+            end
           done
       | Pipeline.All_ports pkt ->
           for p = 0 to ports - 1 do
+            trace_tx t ~port:p ~detail:"all_ports" pkt;
             Node.transmit t.node ~port:p pkt
           done
       | Pipeline.Controller (_max_len, pkt) ->
           t.packet_ins <- t.packet_ins + 1;
+          if Telemetry.Trace.enabled () then
+            Telemetry.Trace.emit
+              ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+              ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"punt"
+              ~port:in_port ~detail:"output:controller" pkt;
           t.controller
             (Of_message.Packet_in
                { in_port; reason = Of_message.Action_to_controller; packet = pkt }))
@@ -87,7 +109,20 @@ let resolve_outputs t ~in_port outputs =
 
 let handle_packet t ~in_port pkt =
   let now_ns = Sim_time.to_ns (Engine.now t.engine) in
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
+      ~layer:Telemetry.Trace.Switch ~stage:"rx" ~port:in_port pkt;
   let result, cycles = t.dataplane.Dataplane.process ~now_ns ~in_port pkt in
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
+      ~layer:Telemetry.Trace.Switch ~stage:"pipeline" ~port:in_port ~cycles
+      ~detail:
+        (Printf.sprintf "dataplane=%s tier=%s matched=%d%s"
+           t.dataplane.Dataplane.name
+           (t.dataplane.Dataplane.tier ())
+           (List.length result.Pipeline.matched)
+           (if result.Pipeline.table_miss then " table_miss" else ""))
+      pkt;
   let complete () =
     (match t.sample_rate with
     | Some rate ->
@@ -116,8 +151,13 @@ let handle_packet t ~in_port pkt =
     end;
     resolve_outputs t ~in_port result.Pipeline.outputs
   in
-  if not (Pmd.submit t.pmd ~cycles complete) then
+  if not (Pmd.submit t.pmd ~cycles complete) then begin
+    if Telemetry.Trace.enabled () then
+      Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
+        ~layer:Telemetry.Trace.Switch ~stage:"drop" ~port:in_port
+        ~detail:"rx ring full" pkt;
     Stats.Counter.incr (Node.counters t.node) "drop_rx_ring"
+  end
 
 let apply_flow_mod t (fm : Of_message.flow_mod) =
   let now_ns = Sim_time.to_ns (Engine.now t.engine) in
@@ -257,6 +297,19 @@ let stats t =
       ("packet_ins", t.packet_ins);
       ("flow_mods", t.flow_mods);
     ]
+
+let publish_metrics ?registry ?(labels = []) t =
+  let labels =
+    ("switch", t.name) :: ("dataplane", t.dataplane.Dataplane.name) :: labels
+  in
+  Telemetry.Registry.publish_ints ?registry ~prefix:"softswitch" ~labels
+    (stats t
+    @ [
+        ("flow_entries", Openflow.Pipeline.total_entries t.pipeline);
+        ("pmd_busy_ns", Pmd.busy_ns t.pmd);
+        ("rx_packets", Stats.Counter.get (Node.counters t.node) "rx");
+        ("tx_packets", Stats.Counter.get (Node.counters t.node) "tx");
+      ])
 
 let process_direct t ~now_ns ~in_port pkt =
   t.dataplane.Dataplane.process ~now_ns ~in_port pkt

@@ -61,6 +61,13 @@ val stats : t -> (string * int) list
 (** Dataplane stats plus ["pmd_processed"], ["pmd_dropped"],
     ["packet_ins"], ["flow_mods"]. *)
 
+val publish_metrics :
+  ?registry:Telemetry.Registry.t -> ?labels:Telemetry.Registry.labels ->
+  t -> unit
+(** Snapshot {!stats}, flow-table occupancy, PMD busy time and node
+    rx/tx totals into gauges named [softswitch_*], labelled with the
+    switch name and dataplane kind.  Pull-based. *)
+
 val pmd : t -> Pmd.t
 
 val process_direct :

@@ -1,0 +1,16 @@
+(** Chrome trace-event JSON export of collected hops.
+
+    The output is the plain JSON-array flavour of the trace-event
+    format: ["thread_name"] metadata ("M") events naming one pseudo
+    thread per emitting component, then one complete ("X") event per
+    hop with sim-time microsecond timestamps.  Load it in
+    chrome://tracing or https://ui.perfetto.dev. *)
+
+val to_json : ?cycles_per_us:float -> Trace.hop list -> Json.t
+(** [cycles_per_us] converts hop cycle costs to event durations
+    (default 2400., i.e. a 2.4 GHz core); durations floor at 1 ns. *)
+
+val to_string : ?cycles_per_us:float -> Trace.hop list -> string
+(** One event per line, pinned by a golden test. *)
+
+val save : ?cycles_per_us:float -> Trace.hop list -> path:string -> unit

@@ -1,0 +1,25 @@
+(** Tiny dependency-free JSON printer used by the exposition formats.
+    Deterministic output: fields print exactly in the order given. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val float_repr : float -> string
+(** Deterministic float rendering: integral values print without a
+    fraction, others with up to 12 significant digits. *)
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_string_lines : t -> string
+(** Like {!to_string} but a top-level array prints one element per
+    line, which keeps Chrome trace files reviewable. *)

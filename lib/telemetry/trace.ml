@@ -1,0 +1,157 @@
+(* Per-packet hop tracing.
+
+   Every instrumented component (host NIC, legacy switch, soft switch,
+   controller) emits [hop] events into a process-wide sink.  The
+   default sink is none at all: call sites guard with [enabled ()], so
+   an untraced run pays one ref read per potential hop and allocates
+   nothing.  A [Collector] sink accumulates hops and assembles them
+   into per-packet traces.
+
+   Packets are immutable values that get re-tagged and copied as they
+   cross the fabric, so there is no identity to follow; hops correlate
+   instead on a [trace_key]: a hash of the frame with its VLAN stack
+   stripped.  Tag pushes, pops and VID rewrites — the HARMLESS data
+   path — preserve the key.  Header rewrites (e.g. a load balancer
+   changing the destination) start a new key, and two byte-identical
+   frames share one; both are documented properties of the scheme. *)
+
+type layer =
+  | Host
+  | Legacy
+  | Switch
+  | Controller
+  | Manager
+  | Other of string
+
+let layer_name = function
+  | Host -> "host"
+  | Legacy -> "legacy"
+  | Switch -> "switch"
+  | Controller -> "controller"
+  | Manager -> "manager"
+  | Other s -> s
+
+type hop = {
+  seq : int;
+  ts_ns : int;
+  component : string;
+  layer : layer;
+  stage : string;
+  port : int option;
+  trace_key : int;
+  packet : string;
+  bytes : int;
+  cycles : int;
+  detail : string;
+}
+
+type sink = hop -> unit
+
+let sink : sink option ref = ref None
+let seq_counter = ref 0
+
+let set_sink s = sink := s
+let enabled () = Option.is_some !sink
+
+let key_of_packet (pkt : Netpkt.Packet.t) =
+  Hashtbl.hash (Netpkt.Packet.encode { pkt with Netpkt.Packet.vlans = [] })
+
+let emit ~ts_ns ~component ~layer ~stage ?port ?(cycles = 0) ?(detail = "") pkt =
+  match !sink with
+  | None -> ()
+  | Some f ->
+      incr seq_counter;
+      f
+        {
+          seq = !seq_counter;
+          ts_ns;
+          component;
+          layer;
+          stage;
+          port;
+          trace_key = key_of_packet pkt;
+          packet = Format.asprintf "%a" Netpkt.Packet.pp pkt;
+          bytes = Netpkt.Packet.wire_size pkt;
+          cycles;
+          detail;
+        }
+
+type trace = { key : int; hops : hop list }
+
+module Collector = struct
+  type t = { mutable rev_hops : hop list; mutable installed : bool }
+
+  let create () = { rev_hops = []; installed = false }
+
+  let record t hop = t.rev_hops <- hop :: t.rev_hops
+
+  let install t =
+    t.installed <- true;
+    set_sink (Some (record t))
+
+  let uninstall t =
+    if t.installed then begin
+      t.installed <- false;
+      set_sink None
+    end
+
+  let clear t = t.rev_hops <- []
+  let hops t = List.rev t.rev_hops
+
+  let traces t =
+    let ordered =
+      List.stable_sort
+        (fun a b ->
+          match compare a.ts_ns b.ts_ns with 0 -> compare a.seq b.seq | c -> c)
+        (hops t)
+    in
+    (* Group by key, keeping first-appearance order of the keys. *)
+    let tbl : (int, hop list ref) Hashtbl.t = Hashtbl.create 16 in
+    let key_order = ref [] in
+    List.iter
+      (fun hop ->
+        match Hashtbl.find_opt tbl hop.trace_key with
+        | Some cell -> cell := hop :: !cell
+        | None ->
+            Hashtbl.replace tbl hop.trace_key (ref [ hop ]);
+            key_order := hop.trace_key :: !key_order)
+      ordered;
+    List.rev_map
+      (fun key -> { key; hops = List.rev !(Hashtbl.find tbl key) })
+      !key_order
+end
+
+let with_collector f =
+  let c = Collector.create () in
+  let saved = !sink in
+  Collector.install c;
+  Fun.protect ~finally:(fun () -> set_sink saved) (fun () ->
+      let result = f c in
+      (result, Collector.traces c))
+
+(* ---- pretty-printing ---- *)
+
+let pp_time fmt ns =
+  if ns < 1_000 then Format.fprintf fmt "%dns" ns
+  else if ns < 1_000_000 then Format.fprintf fmt "%.3fus" (float_of_int ns /. 1e3)
+  else Format.fprintf fmt "%.3fms" (float_of_int ns /. 1e6)
+
+let pp_hop fmt hop =
+  Format.fprintf fmt "%-10s %-14s %-18s"
+    (Format.asprintf "%a" pp_time hop.ts_ns)
+    hop.component
+    (layer_name hop.layer ^ "." ^ hop.stage);
+  (match hop.port with
+  | Some p -> Format.fprintf fmt " port=%-3d" p
+  | None -> Format.fprintf fmt "         ");
+  if hop.cycles > 0 then Format.fprintf fmt " %5d cyc" hop.cycles
+  else Format.fprintf fmt "          ";
+  if hop.detail <> "" then Format.fprintf fmt "  %s" hop.detail
+
+let pp_trace fmt trace =
+  (match trace.hops with
+  | first :: _ ->
+      Format.fprintf fmt "packet %08x: %s (%dB, %d hops)@." trace.key
+        first.packet first.bytes (List.length trace.hops)
+  | [] -> Format.fprintf fmt "packet %08x: (no hops)@." trace.key);
+  List.iter (fun hop -> Format.fprintf fmt "  %a@." pp_hop hop) trace.hops

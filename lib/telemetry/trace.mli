@@ -1,0 +1,87 @@
+(** Per-packet hop tracing: a span API every forwarding component
+    emits into, a pluggable sink (default: none — untraced runs pay a
+    single ref read per potential hop), and a collector that assembles
+    emitted hops into per-packet traces.
+
+    Correlation: packets are immutable values, copied and re-tagged as
+    they cross the fabric, so hops correlate on {!key_of_packet} — a
+    hash of the frame with its VLAN stack stripped.  The HARMLESS tag
+    push/pop/rewrite path preserves the key; L3-header rewrites start a
+    new trace and byte-identical frames share one. *)
+
+type layer =
+  | Host
+  | Legacy       (** the legacy Ethernet switch dataplane *)
+  | Switch       (** a software (or hardware-model) OpenFlow switch *)
+  | Controller
+  | Manager
+  | Other of string
+
+val layer_name : layer -> string
+
+type hop = {
+  seq : int;            (** global emission order, 1-based *)
+  ts_ns : int;          (** sim-time timestamp *)
+  component : string;   (** emitting node, e.g. ["legacy0"], ["sw-ss1"] *)
+  layer : layer;
+  stage : string;       (** e.g. ["ingress"], ["tag_push"], ["pipeline"] *)
+  port : int option;    (** port involved, when meaningful *)
+  trace_key : int;
+  packet : string;      (** one-line packet rendering *)
+  bytes : int;          (** wire size *)
+  cycles : int;         (** processing cost, 0 when not modelled *)
+  detail : string;
+}
+
+type sink = hop -> unit
+
+val set_sink : sink option -> unit
+(** Install ([Some f]) or remove ([None], the default) the process-wide
+    sink. *)
+
+val enabled : unit -> bool
+(** True iff a sink is installed.  Instrumentation sites guard their
+    emit (and any detail-string formatting) behind this. *)
+
+val key_of_packet : Netpkt.Packet.t -> int
+(** The VLAN-stack-invariant correlation key. *)
+
+val emit :
+  ts_ns:int -> component:string -> layer:layer -> stage:string ->
+  ?port:int -> ?cycles:int -> ?detail:string -> Netpkt.Packet.t -> unit
+(** Emit one hop to the current sink; a no-op (no allocation beyond the
+    caller's arguments) when no sink is installed. *)
+
+type trace = { key : int; hops : hop list }
+(** One packet's life, hops ordered by [(ts_ns, seq)]. *)
+
+(** A sink that accumulates hops for later assembly. *)
+module Collector : sig
+  type t
+
+  val create : unit -> t
+
+  val install : t -> unit
+  (** Make this collector the process sink. *)
+
+  val uninstall : t -> unit
+  (** Remove the sink if this collector installed it. *)
+
+  val clear : t -> unit
+  val hops : t -> hop list
+  (** In emission order. *)
+
+  val traces : t -> trace list
+  (** Hops grouped per packet, traces ordered by first appearance. *)
+end
+
+val with_collector : (Collector.t -> 'a) -> 'a * trace list
+(** Run [f] with a fresh collector installed, restoring the previous
+    sink afterwards (also on exceptions); returns [f]'s result and the
+    assembled traces. *)
+
+val pp_time : Format.formatter -> int -> unit
+(** Nanoseconds, human-readable (["12.500us"]). *)
+
+val pp_hop : Format.formatter -> hop -> unit
+val pp_trace : Format.formatter -> trace -> unit

@@ -7,4 +7,5 @@ let () =
    @ Test_controller.suite @ Test_costmodel.suite @ Test_harmless.suite
    @ Test_integration.suite @ Test_meters.suite @ Test_scaleout.suite
    @ Test_codec.suite @ Test_monitor.suite @ Test_failover.suite
-   @ Test_dns.suite @ Test_port_status.suite @ Test_impairments.suite @ Test_tcp_session.suite @ Test_inventory.suite @ Test_sampling.suite @ Test_properties.suite)
+   @ Test_dns.suite @ Test_port_status.suite @ Test_impairments.suite @ Test_tcp_session.suite @ Test_inventory.suite @ Test_sampling.suite @ Test_properties.suite
+   @ Test_telemetry.suite)
