@@ -3,11 +3,16 @@ open Openflow
 type t = {
   engine : Simnet.Engine.t;
   channel_latency : Simnet.Sim_time.span option;
+  channel_config : Channel.config option;
   mutable apps : app list;
   switches : (int64, Channel.t) Hashtbl.t;
+  (* State-bearing messages (flow/group/meter-mods) per datapath, newest
+     first — replayed to resynchronize a switch after a reconnect. *)
+  state_log : (int64, Of_message.t list ref) Hashtbl.t;
   mutable packet_ins : int;
   mutable packet_outs : int;
   mutable flow_mods_sent : int;
+  mutable resyncs : int;
   mutable errors : string list; (* newest first *)
   mutable stats_waiters : (int64 * (Of_message.flow_stat list -> unit)) list;
 }
@@ -29,15 +34,18 @@ let no_op_app name =
     port_status = (fun _ _ ~port:_ ~up:_ -> ());
   }
 
-let create engine ?channel_latency () =
+let create engine ?channel_latency ?channel_config () =
   {
     engine;
     channel_latency;
+    channel_config;
     apps = [];
     switches = Hashtbl.create 8;
+    state_log = Hashtbl.create 8;
     packet_ins = 0;
     packet_outs = 0;
     flow_mods_sent = 0;
+    resyncs = 0;
     errors = [];
     stats_waiters = [];
   }
@@ -49,7 +57,34 @@ let channel t dpid =
   | Some ch -> ch
   | None -> raise Not_found
 
-let send t dpid msg = Channel.to_switch (channel t dpid) msg
+let log_state t dpid msg =
+  match msg with
+  | Of_message.Flow_mod _ | Of_message.Group_mod _ | Of_message.Meter_mod _ ->
+      let log =
+        match Hashtbl.find_opt t.state_log dpid with
+        | Some log -> log
+        | None ->
+            let log = ref [] in
+            Hashtbl.replace t.state_log dpid log;
+            log
+      in
+      log := msg :: !log
+  | _ -> ()
+
+let send t dpid msg =
+  log_state t dpid msg;
+  Channel.to_switch (channel t dpid) msg
+
+let resync t dpid ch =
+  t.resyncs <- t.resyncs + 1;
+  Channel.to_switch ch Of_message.Hello;
+  Channel.to_switch ch Of_message.Features_request;
+  (* Replay in original send order; OFPFC_ADD replaces identical
+     match+priority entries, so the replay is idempotent on a switch
+     that kept its tables and restorative on one that lost them. *)
+  match Hashtbl.find_opt t.state_log dpid with
+  | Some log -> List.iter (Channel.to_switch ch) (List.rev !log)
+  | None -> ()
 
 let install t dpid fm =
   t.flow_mods_sent <- t.flow_mods_sent + 1;
@@ -116,11 +151,17 @@ let attach_switch t switch =
   let dpid = Softswitch.Soft_switch.datapath_id switch in
   let to_controller msg = handle_switch_message t dpid msg in
   let ch =
-    match t.channel_latency with
-    | Some latency -> Channel.connect t.engine ~latency ~switch ~to_controller ()
-    | None -> Channel.connect t.engine ~switch ~to_controller ()
+    match (t.channel_latency, t.channel_config) with
+    | Some latency, Some config ->
+        Channel.connect t.engine ~latency ~config ~switch ~to_controller ()
+    | Some latency, None ->
+        Channel.connect t.engine ~latency ~switch ~to_controller ()
+    | None, Some config ->
+        Channel.connect t.engine ~config ~switch ~to_controller ()
+    | None, None -> Channel.connect t.engine ~switch ~to_controller ()
   in
   Hashtbl.replace t.switches dpid ch;
+  Channel.on_reconnect ch (fun () -> resync t dpid ch);
   Channel.to_switch ch Of_message.Hello;
   Channel.to_switch ch Of_message.Features_request;
   dpid
@@ -128,6 +169,7 @@ let attach_switch t switch =
 let switch_ids t = Hashtbl.fold (fun dpid _ acc -> dpid :: acc) t.switches []
 let packet_ins_received t = t.packet_ins
 let errors_received t = List.rev t.errors
+let resyncs t = t.resyncs
 
 let publish_metrics ?registry ?(labels = []) t =
   Telemetry.Registry.publish_ints ?registry ~prefix:"controller" ~labels
@@ -135,6 +177,7 @@ let publish_metrics ?registry ?(labels = []) t =
       ("packet_ins", t.packet_ins);
       ("packet_outs", t.packet_outs);
       ("flow_mods_sent", t.flow_mods_sent);
+      ("resyncs", t.resyncs);
       ("errors", List.length t.errors);
       ("switches", Hashtbl.length t.switches);
       ("apps", List.length t.apps);

@@ -26,7 +26,15 @@ type app = {
 val no_op_app : string -> app
 (** An app that handles nothing — a base to extend with [{ ... with }]. *)
 
-val create : Simnet.Engine.t -> ?channel_latency:Simnet.Sim_time.span -> unit -> t
+val create :
+  Simnet.Engine.t ->
+  ?channel_latency:Simnet.Sim_time.span ->
+  ?channel_config:Channel.config ->
+  unit ->
+  t
+(** [channel_config] shapes every channel this controller opens (loss,
+    keepalive, backoff — see {!Channel.config}); [channel_latency]
+    overrides just the latency. *)
 
 val add_app : t -> app -> unit
 (** Apps see switches that connect after registration; register apps
@@ -45,6 +53,18 @@ val install : t -> int64 -> Openflow.Of_message.flow_mod -> unit
 val packet_out :
   t -> int64 -> ?in_port:int -> actions:Openflow.Of_action.t list ->
   Netpkt.Packet.t -> unit
+
+val channel : t -> int64 -> Channel.t
+(** The control channel to a datapath — how experiments and the fault
+    injector reach {!Channel.set_down}.
+    @raise Not_found for an unknown datapath. *)
+
+val resyncs : t -> int
+(** Times any channel reconnected and had its state replayed.  On each
+    reconnect the controller resends the hello/features handshake and
+    every flow/group/meter-mod it ever sent that switch, in order —
+    idempotent for a switch that kept its tables, restorative for one
+    that crashed and lost them. *)
 
 val switch_ids : t -> int64 list
 val packet_ins_received : t -> int

@@ -41,9 +41,64 @@ val active : t -> [ `Primary | `Backup ]
 val activate_backup : t -> (unit, string) result
 (** Perform the failover now (idempotent once on backup). *)
 
-val start_watchdog : t -> period:Simnet.Sim_time.span -> unit
-(** Poll the primary trunk NIC's attachment every [period]; when it goes
-    away, fail over automatically and stop watching. *)
+val activate_primary : t -> (unit, string) result
+(** Fail back: reactivate the primary trunk and shut the backup
+    (idempotent once on primary). *)
+
+(** The watchdog's lifecycle, observable via {!watchdog_status}. *)
+type watchdog_status =
+  | Idle  (** not running: never started, stopped, or done *)
+  | Watching  (** probing the active trunk's carrier every period *)
+  | Activating  (** trunk loss detected; activation in progress/retrying *)
+  | Gave_up of string
+      (** every activation attempt failed; the error was handed to
+          [on_failure] and is kept in {!last_error} *)
+
+val start_watchdog :
+  ?policy:Mgmt.Retry.policy ->
+  ?failback:bool ->
+  ?on_failure:(string -> unit) ->
+  t ->
+  period:Simnet.Sim_time.span ->
+  unit
+(** Probe the active trunk NIC's carrier every [period].  When it drops,
+    activate the other trunk under [policy] (default
+    {!Mgmt.Retry.default}): failed activations — e.g. a flapping
+    management connection mid-failover — retry with exponential backoff
+    in sim time instead of silently killing the watchdog.  If every
+    attempt fails the watchdog reports [Gave_up] and calls [on_failure].
+
+    With [failback] (default false) the watchdog keeps running after a
+    successful failover: it returns to the primary trunk when its
+    carrier comes back, and handles a double failure (backup trunk dying
+    too) the same way.  Note a failback watchdog reschedules forever —
+    run the engine with [~until].  Without [failback] it stops after one
+    successful failover, like the event queue draining, so legacy
+    unbounded runs still terminate.
+
+    Successful activations increment [failovers_total{direction=…}];
+    retries show up in [retries_total{op="failover.activate_…"}]. *)
+
+val stop_watchdog : t -> unit
+(** Cancel the running watchdog (pending ticks become no-ops). *)
+
+val watchdog_status : t -> watchdog_status
 
 val failovers : t -> int
-(** Completed failovers (0 or 1). *)
+(** Completed primary→backup failovers. *)
+
+val failbacks : t -> int
+(** Completed backup→primary failbacks. *)
+
+val activation_retries : t -> int
+(** Activation attempts the watchdog had to repeat. *)
+
+val last_error : t -> string option
+(** The most recent activation error, cleared on success. *)
+
+val publish_metrics :
+  ?registry:Telemetry.Registry.t -> ?labels:Telemetry.Registry.labels ->
+  t -> unit
+(** Snapshot failover/failback/retry tallies, which trunk is active and
+    the watchdog status into gauges named [failover_*], labelled with
+    the device hostname.  Pull-based. *)

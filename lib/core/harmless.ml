@@ -10,6 +10,8 @@
       and plain-OpenFlow baselines;
     - {!Scaleout}: several legacy switches behind one server;
     - {!Failover}: a standby trunk with watchdog-driven recovery;
+    - {!Chaos}: scripted fault injection against a full deployment,
+      with a recovery report;
     - {!Transparency}: the checker for the paper's central property —
       the controller cannot tell HARMLESS from a real OpenFlow switch;
     - {!Trace_view}: renders telemetry hop traces in the paper's
@@ -21,5 +23,6 @@ module Manager = Manager
 module Deployment = Deployment
 module Scaleout = Scaleout
 module Failover = Failover
+module Chaos = Chaos
 module Transparency = Transparency
 module Trace_view = Trace_view

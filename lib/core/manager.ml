@@ -66,10 +66,13 @@ let verify_over_snmp device ~map =
     | Ok (Mib.Int vid) when vid = expected_vid -> Ok ()
     | Ok (Mib.Int vid) ->
         Error
-          (Printf.sprintf "verification: port %d has pvid %d, expected %d" port
-             vid expected_vid)
-    | Ok (Mib.Str _) -> Error "verification: pvid has wrong type"
-    | Error e -> Error (Format.asprintf "verification: snmp %a" Snmp.pp_error e)
+          (`Permanent
+            (Printf.sprintf "verification: port %d has pvid %d, expected %d"
+               port vid expected_vid))
+    | Ok (Mib.Str _) -> Error (`Permanent "verification: pvid has wrong type")
+    | Error e ->
+        let msg = Format.asprintf "verification: snmp %a" Snmp.pp_error e in
+        Error (if Snmp.is_transient e then `Transient msg else `Permanent msg)
   in
   let pairs =
     List.filter_map
@@ -82,7 +85,7 @@ let verify_over_snmp device ~map =
     (Ok ()) pairs
 
 let configure_device ~device ~trunk_port ~access_ports ?base_vid
-    ?(disabled_ports = []) () =
+    ?(disabled_ports = []) ?(retry = Retry.default) () =
   let steps = ref [] in
   let log fmt = Printf.ksprintf (fun s -> steps := s :: !steps) fmt in
   let napalm = Device.napalm device in
@@ -116,29 +119,54 @@ let configure_device ~device ~trunk_port ~access_ports ?base_vid
   (* Stage and commit the tagging configuration. *)
   let (module D : Dialect.S) = Device.dialect device in
   let candidate_text = D.render (target_config device ~trunk_port ~map ~disabled_ports) in
-  let* () = napalm.Napalm.load_candidate candidate_text in
+  let attempt ~op f =
+    Retry.run ~policy:retry ~op
+      ~on_retry:(fun ~attempt ~delay:_ msg ->
+        log "%s failed (attempt %d): %s — retrying" op attempt msg)
+      f
+  in
+  let* () =
+    attempt ~op:"manager.load_candidate" (fun () ->
+        napalm.Napalm.load_candidate candidate_text)
+  in
   let diff = napalm.Napalm.compare_config () in
   log "candidate loaded (%d changes)" (List.length diff);
-  let* () = napalm.Napalm.commit () in
+  let* () = attempt ~op:"manager.commit" napalm.Napalm.commit in
   log "committed configuration";
   let* () =
-    match verify_over_snmp device ~map with
-    | Ok () ->
+    (* Retry only transient SNMP errors (lost datagrams); a genuine VLAN
+       mismatch will not fix itself, so it passes through and triggers
+       the rollback.  The nested result keeps the two apart. *)
+    let verified =
+      attempt ~op:"manager.verify" (fun () ->
+          match verify_over_snmp device ~map with
+          | Ok () -> Ok (Ok ())
+          | Error (`Transient msg) -> Error msg
+          | Error (`Permanent msg) -> Ok (Error msg))
+    in
+    match verified with
+    | Ok (Ok ()) ->
         log "verified port VLANs over SNMP";
         Ok ()
-    | Error msg ->
+    | (Ok (Error msg) | Error msg) -> (
         (* Leave the device as we found it. *)
-        (match napalm.Napalm.rollback () with
-        | Ok () -> log "verification failed; rolled back"
-        | Error _ -> log "verification failed; rollback also failed");
-        Error msg
+        match attempt ~op:"manager.rollback" napalm.Napalm.rollback with
+        | Ok () ->
+            log "verification failed; rolled back";
+            Error msg
+        | Error rollback_msg ->
+            log "verification failed; rollback also failed: %s" rollback_msg;
+            Error
+              (Printf.sprintf
+                 "%s; rollback also failed: %s — device state unknown" msg
+                 rollback_msg))
   in
   Ok (map, { facts; config_diff = diff; steps = List.rev !steps })
 
 let provision engine ~device ~trunk_port ~access_ports ?base_vid
-    ?(dataplane = Soft_switch.Eswitch) ?pmd () =
+    ?(dataplane = Soft_switch.Eswitch) ?pmd ?retry () =
   let* map, report =
-    configure_device ~device ~trunk_port ~access_ports ?base_vid ()
+    configure_device ~device ~trunk_port ~access_ports ?base_vid ?retry ()
   in
   (* Bring up the software side. *)
   let n = Port_map.size map in

@@ -39,6 +39,7 @@ val provision :
   ?base_vid:int ->
   ?dataplane:Softswitch.Soft_switch.dataplane_kind ->
   ?pmd:Softswitch.Pmd.config ->
+  ?retry:Mgmt.Retry.policy ->
   unit ->
   (provisioned, string) result
 (** Fails (with the device rolled back where possible) if the port set is
@@ -51,6 +52,7 @@ val configure_device :
   access_ports:int list ->
   ?base_vid:int ->
   ?disabled_ports:int list ->
+  ?retry:Mgmt.Retry.policy ->
   unit ->
   (Port_map.t * report, string) result
 (** Steps 1–4 of {!provision} only: discover, compute the mapping,
@@ -58,7 +60,15 @@ val configure_device :
     creating any software switches.  {!Scaleout} uses this to share one
     SS_2 across several devices; {!Failover} uses [disabled_ports] to
     keep the standby trunk shut.  Ports in [disabled_ports] are forced to
-    [Disabled] in the candidate. *)
+    [Disabled] in the candidate.
+
+    Every management step runs under [retry] (default {!Mgmt.Retry.default}):
+    [load_candidate], [commit] and [rollback] retry on any error;
+    SNMP verification retries only transient ({!Mgmt.Snmp.Timeout})
+    errors — a genuine VLAN mismatch triggers rollback immediately.
+    When verification {e and} rollback both fail, the error carries both
+    messages ("…; rollback also failed: … — device state unknown"), so
+    the operator knows the device was left in an unknown state. *)
 
 val deprovision : Mgmt.Device.t -> (unit, string) result
 (** Roll the legacy switch back to its pre-HARMLESS configuration. *)

@@ -12,12 +12,26 @@ type t = {
   snmp : Snmp.t;
   mutable candidate : Device_config.t option;
   mutable last_committed : Device_config.t option;
+  mutable fault : Fault_plan.t option;
 }
 
 let switch t = t.switch
 let hostname t = Legacy_switch.name t.switch
 let vendor t = t.vendor
 let snmp t = t.snmp
+let fault_plan t = t.fault
+
+let set_fault_plan t plan =
+  t.fault <- plan;
+  (* One plan covers the whole management surface: SNMP datagrams and
+     NAPALM session operations draw from the same failure sequence. *)
+  Snmp.set_fault_plan t.snmp plan
+
+let napalm_faulted t ~op =
+  match t.fault with
+  | Some plan when Fault_plan.should_fail plan ~op ->
+      Some (Error (Printf.sprintf "%s: connection timed out" op))
+  | Some _ | None -> None
 
 let dialect t : (module Dialect.S) =
   match t.vendor with
@@ -155,11 +169,14 @@ let napalm t =
   let get_vlans () = Legacy_switch.vlans_in_use t.switch in
   let get_config () = running_config_text t in
   let load_candidate text =
-    match D.parse text with
-    | Ok config ->
-        t.candidate <- Some config;
-        Ok ()
-    | Error msg -> Error msg
+    match napalm_faulted t ~op:"napalm.load_candidate" with
+    | Some e -> e
+    | None -> (
+        match D.parse text with
+        | Ok config ->
+            t.candidate <- Some config;
+            Ok ()
+        | Error msg -> Error msg)
   in
   let compare_config () =
     match t.candidate with
@@ -167,25 +184,31 @@ let napalm t =
     | Some candidate -> Device_config.diff (running_config t) candidate
   in
   let commit () =
-    match t.candidate with
-    | None -> Error "no candidate configuration loaded"
-    | Some candidate -> (
-        let previous = running_config t in
-        match Device_config.apply candidate t.switch with
-        | () ->
-            t.last_committed <- Some previous;
-            t.candidate <- None;
-            Ok ()
-        | exception Invalid_argument msg -> Error msg)
+    match napalm_faulted t ~op:"napalm.commit" with
+    | Some e -> e
+    | None -> (
+        match t.candidate with
+        | None -> Error "no candidate configuration loaded"
+        | Some candidate -> (
+            let previous = running_config t in
+            match Device_config.apply candidate t.switch with
+            | () ->
+                t.last_committed <- Some previous;
+                t.candidate <- None;
+                Ok ()
+            | exception Invalid_argument msg -> Error msg))
   in
   let discard () = t.candidate <- None in
   let rollback () =
-    match t.last_committed with
-    | None -> Error "nothing to roll back to"
-    | Some previous ->
-        Device_config.apply previous t.switch;
-        t.last_committed <- None;
-        Ok ()
+    match napalm_faulted t ~op:"napalm.rollback" with
+    | Some e -> e
+    | None -> (
+        match t.last_committed with
+        | None -> Error "nothing to roll back to"
+        | Some previous ->
+            Device_config.apply previous t.switch;
+            t.last_committed <- None;
+            Ok ())
   in
   {
     Napalm.driver_name = D.name;
@@ -235,6 +258,7 @@ let create ~switch ~vendor ?model ?os_version ?serial () =
       snmp = Snmp.create mib;
       candidate = None;
       last_committed = None;
+      fault = None;
     }
   in
   register_mib t mib;

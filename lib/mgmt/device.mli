@@ -32,5 +32,16 @@ val snmp : t -> Snmp.t
 val napalm : t -> Napalm.t
 (** A connected NAPALM driver for this device. *)
 
+val set_fault_plan : t -> Fault_plan.t option -> unit
+(** Attach (or clear) a transient-failure plan covering the device's
+    whole management surface: SNMP operations return [Timeout] and the
+    NAPALM session operations ([load_candidate] / [commit] / [rollback])
+    return a connection-timeout error whenever the plan says so.  SNMP
+    reads inside NAPALM getters draw from the same sequence, so a flaky
+    burst can also degrade fact discovery — exactly the mess a real
+    flapping management connection produces. *)
+
+val fault_plan : t -> Fault_plan.t option
+
 val running_config : t -> Device_config.t
 val running_config_text : t -> string

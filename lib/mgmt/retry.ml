@@ -1,0 +1,69 @@
+open Simnet
+
+type policy = {
+  max_attempts : int;
+  base_delay : Sim_time.span;
+  multiplier : float;
+  max_delay : Sim_time.span;
+}
+
+let policy ?(max_attempts = 3) ?(base_delay = Sim_time.ms 10)
+    ?(multiplier = 2.0) ?(max_delay = Sim_time.s 1) () =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts < 1";
+  if base_delay < 0 then invalid_arg "Retry.policy: negative base_delay";
+  if multiplier < 1.0 then invalid_arg "Retry.policy: multiplier < 1";
+  if max_delay < base_delay then invalid_arg "Retry.policy: max_delay < base_delay";
+  { max_attempts; base_delay; multiplier; max_delay }
+
+let default = policy ()
+
+let delay_before_attempt p ~attempt =
+  if attempt <= 1 then 0
+  else
+    let raw =
+      float_of_int p.base_delay *. (p.multiplier ** float_of_int (attempt - 2))
+    in
+    min p.max_delay (int_of_float raw)
+
+let backoff_schedule p =
+  List.init (p.max_attempts - 1) (fun i -> delay_before_attempt p ~attempt:(i + 2))
+
+let count_retry ?registry ~op () =
+  Telemetry.Registry.Counter.inc
+    (Telemetry.Registry.Counter.v ?registry
+       ~help:"operations retried after a transient failure"
+       ~labels:[ ("op", op) ] "retries_total")
+
+let run ?(policy = default) ?registry ?(op = "op")
+    ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) f =
+  let rec attempt n =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when n >= policy.max_attempts ->
+        Error
+          (if policy.max_attempts = 1 then e
+           else Printf.sprintf "%s (gave up after %d attempts)" e n)
+    | Error e ->
+        count_retry ?registry ~op ();
+        on_retry ~attempt:n ~delay:(delay_before_attempt policy ~attempt:(n + 1)) e;
+        attempt (n + 1)
+  in
+  attempt 1
+
+let run_async engine ?(policy = default) ?registry ?(op = "op")
+    ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) f ~on_done =
+  let rec attempt n () =
+    match f () with
+    | Ok _ as ok -> on_done ok
+    | Error e when n >= policy.max_attempts ->
+        on_done
+          (Error
+             (if policy.max_attempts = 1 then e
+              else Printf.sprintf "%s (gave up after %d attempts)" e n))
+    | Error e ->
+        count_retry ?registry ~op ();
+        let delay = delay_before_attempt policy ~attempt:(n + 1) in
+        on_retry ~attempt:n ~delay e;
+        Engine.schedule_after engine delay (attempt (n + 1))
+  in
+  attempt 1 ()

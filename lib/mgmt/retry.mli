@@ -1,0 +1,57 @@
+(** Retry-with-exponential-backoff for management-plane operations.
+
+    SNMP and NAPALM calls against real devices fail transiently all the
+    time (TCP resets, busy control planes, dropped UDP); a migration tool
+    that aborts a provisioning run on the first hiccup is unusable.  This
+    combinator gives every management call site one shared, deterministic
+    policy: try, back off exponentially, give up after [max_attempts]
+    with an error that says so.
+
+    Each retry increments the [retries_total{op="…"}] counter in the
+    telemetry registry, so chaos runs can assert recovery actually
+    exercised the retry path. *)
+
+type policy = {
+  max_attempts : int;          (** total tries, >= 1 *)
+  base_delay : Simnet.Sim_time.span;  (** delay before attempt 2 *)
+  multiplier : float;          (** backoff growth factor, >= 1 *)
+  max_delay : Simnet.Sim_time.span;   (** backoff cap *)
+}
+
+val policy :
+  ?max_attempts:int -> ?base_delay:Simnet.Sim_time.span ->
+  ?multiplier:float -> ?max_delay:Simnet.Sim_time.span -> unit -> policy
+(** Defaults: 3 attempts, 10 ms base, x2 growth, 1 s cap.
+    @raise Invalid_argument on nonsensical values. *)
+
+val default : policy
+
+val delay_before_attempt : policy -> attempt:int -> Simnet.Sim_time.span
+(** Backoff inserted before the given 1-based attempt (0 for the first).
+    Pure — the schedule is a function of the policy alone, so runs are
+    reproducible. *)
+
+val backoff_schedule : policy -> Simnet.Sim_time.span list
+(** The full delay sequence, i.e. delays before attempts 2..max. *)
+
+val run :
+  ?policy:policy -> ?registry:Telemetry.Registry.t -> ?op:string ->
+  ?on_retry:(attempt:int -> delay:Simnet.Sim_time.span -> string -> unit) ->
+  (unit -> ('a, string) result) -> ('a, string) result
+(** Synchronous retries: call [f] until it succeeds or [max_attempts] is
+    reached.  Simulated management operations complete instantly, so the
+    backoff is not waited out here — it is reported to [on_retry] (and
+    is exactly what {!run_async} would wait).  The terminal error is
+    annotated with the attempt count.  [op] labels the
+    [retries_total] counter (default registry unless [registry]). *)
+
+val run_async :
+  Simnet.Engine.t -> ?policy:policy -> ?registry:Telemetry.Registry.t ->
+  ?op:string ->
+  ?on_retry:(attempt:int -> delay:Simnet.Sim_time.span -> string -> unit) ->
+  (unit -> ('a, string) result) -> on_done:(('a, string) result -> unit) ->
+  unit
+(** Like {!run} but the backoff delays elapse in sim time on [engine];
+    [on_done] fires with the final result.  The {!Harmless.Failover}
+    watchdog uses this so failed failover activations retry without
+    blocking the event loop. *)

@@ -3,47 +3,74 @@ type error =
   | No_such_object
   | Not_writable of string
   | End_of_mib
+  | Timeout
 
 let pp_error fmt = function
   | Bad_community -> Format.pp_print_string fmt "bad community"
   | No_such_object -> Format.pp_print_string fmt "noSuchObject"
   | Not_writable reason -> Format.fprintf fmt "notWritable (%s)" reason
   | End_of_mib -> Format.pp_print_string fmt "endOfMibView"
+  | Timeout -> Format.pp_print_string fmt "timeout"
+
+let is_transient = function
+  | Timeout -> true
+  | Bad_community | No_such_object | Not_writable _ | End_of_mib -> false
 
 type t = {
   mib : Mib.t;
   read_community : string;
   write_community : string;
   mutable requests : int;
+  mutable timeouts : int;
+  mutable fault : Fault_plan.t option;
 }
 
 let create ?(read_community = "public") ?(write_community = "private") mib =
-  { mib; read_community; write_community; requests = 0 }
+  {
+    mib;
+    read_community;
+    write_community;
+    requests = 0;
+    timeouts = 0;
+    fault = None;
+  }
+
+let set_fault_plan t plan = t.fault <- plan
 
 let readable t community =
   String.equal community t.read_community || String.equal community t.write_community
 
-let get t ~community oid =
+(* A lost datagram times out before the agent sees community or OID. *)
+let timed_out t ~op =
   t.requests <- t.requests + 1;
-  if not (readable t community) then Error Bad_community
+  match t.fault with
+  | Some plan when Fault_plan.should_fail plan ~op ->
+      t.timeouts <- t.timeouts + 1;
+      true
+  | Some _ | None -> false
+
+let get t ~community oid =
+  if timed_out t ~op:"snmp.get" then Error Timeout
+  else if not (readable t community) then Error Bad_community
   else match Mib.get t.mib oid with Some v -> Ok v | None -> Error No_such_object
 
 let get_next t ~community oid =
-  t.requests <- t.requests + 1;
-  if not (readable t community) then Error Bad_community
+  if timed_out t ~op:"snmp.get_next" then Error Timeout
+  else if not (readable t community) then Error Bad_community
   else match Mib.next t.mib oid with Some b -> Ok b | None -> Error End_of_mib
 
 let set t ~community oid value =
-  t.requests <- t.requests + 1;
-  if not (String.equal community t.write_community) then Error Bad_community
+  if timed_out t ~op:"snmp.set" then Error Timeout
+  else if not (String.equal community t.write_community) then Error Bad_community
   else
     match Mib.set t.mib oid value with
     | Ok () -> Ok ()
     | Error reason -> Error (Not_writable reason)
 
 let walk t ~community prefix =
-  t.requests <- t.requests + 1;
-  if not (readable t community) then Error Bad_community
+  if timed_out t ~op:"snmp.walk" then Error Timeout
+  else if not (readable t community) then Error Bad_community
   else Ok (Mib.walk t.mib prefix)
 
 let requests t = t.requests
+let timeouts t = t.timeouts

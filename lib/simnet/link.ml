@@ -39,6 +39,7 @@ type dir_stats = {
   drops_queue : int;
   drops_mtu : int;
   drops_loss : int;
+  drops_down : int;
 }
 
 type dir = {
@@ -49,11 +50,16 @@ type dir = {
   rng : Rng.t;
   mutable next_free : Sim_time.t;
   mutable up : bool;
+  (* Runtime impairments, initialized from [cfg] and mutable so fault
+     injection can degrade a live link. *)
+  mutable loss : float;
+  mutable jitter : Sim_time.span;
   mutable packets : int;
   mutable bytes : int;
   mutable drops_queue : int;
   mutable drops_mtu : int;
   mutable drops_loss : int;
+  mutable drops_down : int;
 }
 
 type t = {
@@ -79,13 +85,14 @@ let backlog_bytes dir ~now =
       (Float.of_int busy *. float_of_int dir.cfg.bandwidth_bps /. 8e9)
 
 let send dir pkt =
-  if dir.up then begin
+  if not dir.up then dir.drops_down <- dir.drops_down + 1
+  else begin
     let now = Engine.now dir.engine in
     (* The MTU constrains the L3 payload: frame size minus the 14-byte MAC
        header and 4 bytes per tag. *)
     let payload = Netpkt.Packet.payload_size pkt in
     if payload > dir.cfg.mtu then dir.drops_mtu <- dir.drops_mtu + 1
-    else if dir.cfg.loss > 0.0 && Rng.float dir.rng 1.0 < dir.cfg.loss then
+    else if dir.loss > 0.0 && Rng.float dir.rng 1.0 < dir.loss then
       dir.drops_loss <- dir.drops_loss + 1
     else begin
       let wire = Netpkt.Packet.wire_size pkt in
@@ -98,7 +105,7 @@ let send dir pkt =
         dir.packets <- dir.packets + 1;
         dir.bytes <- dir.bytes + wire;
         let extra =
-          if dir.cfg.jitter > 0 then Rng.int dir.rng (dir.cfg.jitter + 1) else 0
+          if dir.jitter > 0 then Rng.int dir.rng (dir.jitter + 1) else 0
         in
         let arrival = Sim_time.add done_tx (dir.cfg.propagation + extra) in
         let dst = dir.dst and dst_port = dir.dst_port in
@@ -121,11 +128,14 @@ let connect ?(a_to_b = gige) ?(b_to_a = gige) (node_a, port_a) (node_b, port_b) 
       rng = Rng.create cfg.impair_seed;
       next_free = Sim_time.zero;
       up = true;
+      loss = cfg.loss;
+      jitter = cfg.jitter;
       packets = 0;
       bytes = 0;
       drops_queue = 0;
       drops_mtu = 0;
       drops_loss = 0;
+      drops_down = 0;
     }
   in
   let ab = mk_dir a_to_b node_b port_b in
@@ -140,6 +150,32 @@ let disconnect t =
   Node.detach t.node_a ~port:t.port_a;
   Node.detach t.node_b ~port:t.port_b
 
+let set_up t up =
+  if (t.ab.up && t.ba.up) <> up then begin
+    t.ab.up <- up;
+    t.ba.up <- up;
+    (* Both ends lose (or regain) carrier, like a fiber cut/splice. *)
+    Node.set_carrier t.node_a ~port:t.port_a up;
+    Node.set_carrier t.node_b ~port:t.port_b up
+  end
+
+let is_up t = t.ab.up && t.ba.up
+
+let set_impairments ?loss ?jitter t =
+  (match loss with
+  | Some l when l < 0.0 || l >= 1.0 ->
+      invalid_arg "Link.set_impairments: loss outside [0, 1)"
+  | Some l ->
+      t.ab.loss <- l;
+      t.ba.loss <- l
+  | None -> ());
+  match jitter with
+  | Some j when j < 0 -> invalid_arg "Link.set_impairments: negative jitter"
+  | Some j ->
+      t.ab.jitter <- j;
+      t.ba.jitter <- j
+  | None -> ()
+
 let dir_stats d =
   {
     tx_packets = d.packets;
@@ -147,6 +183,7 @@ let dir_stats d =
     drops_queue = d.drops_queue;
     drops_mtu = d.drops_mtu;
     drops_loss = d.drops_loss;
+    drops_down = d.drops_down;
   }
 
 let stats_a_to_b t = dir_stats t.ab

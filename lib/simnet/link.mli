@@ -42,6 +42,22 @@ val connect :
 
 val disconnect : t -> unit
 
+val set_up : t -> bool -> unit
+(** Administratively (or faultily) take both directions down or bring
+    them back.  Down: frames offered to either end are dropped (counted
+    [drops_down]) and both endpoints lose carrier (firing their
+    attachment-change watchers).  Unlike {!disconnect} the attachment
+    survives, so [set_up t true] restores service — the primitive the
+    fault injector uses for link down/up events. *)
+
+val is_up : t -> bool
+
+val set_impairments : ?loss:float -> ?jitter:Sim_time.span -> t -> unit
+(** Degrade (or heal) a live link: override the loss probability and/or
+    jitter of both directions.  The seeded impairment streams continue —
+    runs stay deterministic.
+    @raise Invalid_argument on loss outside [0, 1) or negative jitter. *)
+
 (** Per-direction statistics. *)
 type dir_stats = {
   tx_packets : int;
@@ -49,6 +65,7 @@ type dir_stats = {
   drops_queue : int;
   drops_mtu : int;
   drops_loss : int;    (** random losses from the impairment model *)
+  drops_down : int;    (** frames offered while the link was down *)
 }
 
 val stats_a_to_b : t -> dir_stats

@@ -4,6 +4,7 @@ type t = {
   name : string;
   engine : Engine.t;
   mutable tx_fns : (Netpkt.Packet.t -> unit) option array;
+  mutable carrier_ok : bool array;
   mutable handler : handler;
   counters : Stats.Counter.t;
   mutable taps : (direction -> int -> Netpkt.Packet.t -> unit) list;
@@ -20,6 +21,7 @@ let create engine ~name ~ports =
     name;
     engine;
     tx_fns = Array.make ports None;
+    carrier_ok = Array.make ports true;
     handler = no_op_handler;
     counters = Stats.Counter.create ();
     taps = [];
@@ -34,6 +36,7 @@ let add_ports t n =
   if n < 0 then invalid_arg "Node.add_ports: negative";
   let first = Array.length t.tx_fns in
   t.tx_fns <- Array.append t.tx_fns (Array.make n None);
+  t.carrier_ok <- Array.append t.carrier_ok (Array.make n true);
   first
 
 let set_handler t h = t.handler <- h
@@ -48,6 +51,8 @@ let transmit t ~port pkt =
   check_port t port;
   match t.tx_fns.(port) with
   | None -> Stats.Counter.incr t.counters "tx_drop_unattached"
+  | Some _ when not t.carrier_ok.(port) ->
+      Stats.Counter.incr t.counters "tx_drop_no_carrier"
   | Some send ->
       Stats.Counter.incr t.counters "tx";
       Stats.Counter.incr t.counters (Printf.sprintf "tx.%d" port);
@@ -83,6 +88,19 @@ let detach t ~port =
 let attached t ~port =
   check_port t port;
   Option.is_some t.tx_fns.(port)
+
+let set_carrier t ~port up =
+  check_port t port;
+  if t.carrier_ok.(port) <> up then begin
+    t.carrier_ok.(port) <- up;
+    (* Only signal a transition the far side can observe: a port with no
+       link attached has no carrier to lose. *)
+    if Option.is_some t.tx_fns.(port) then notify_attachment t port up
+  end
+
+let carrier t ~port =
+  check_port t port;
+  Option.is_some t.tx_fns.(port) && t.carrier_ok.(port)
 
 let counters t = t.counters
 let add_tap t tap = t.taps <- t.taps @ [ tap ]

@@ -39,6 +39,17 @@ val attach : t -> port:int -> (Netpkt.Packet.t -> unit) -> unit
 val detach : t -> port:int -> unit
 val attached : t -> port:int -> bool
 
+val set_carrier : t -> port:int -> bool -> unit
+(** Force the port's carrier signal (default up).  Dropping carrier on an
+    attached port fires the {!on_attachment_change} watchers with
+    [up = false] — the same signal a cable pull produces — and makes
+    {!transmit} drop frames (counted ["tx_drop_no_carrier"]).  Faults use
+    this to take a link down without tearing the attachment itself off,
+    so the link can come back later. *)
+
+val carrier : t -> port:int -> bool
+(** [attached] and carrier up. *)
+
 val counters : t -> Stats.Counter.t
 (** Per-node counters; ["rx"], ["tx"], per-port ["rx.<n>"], ["tx.<n>"],
     and drop reasons. *)

@@ -8,6 +8,7 @@ type dataplane_kind =
   | Hardware
 
 type miss_behavior = Drop_on_miss | Send_to_controller
+type connection_mode = Fail_secure | Fail_standalone
 
 type t = {
   node : Node.t;
@@ -24,6 +25,13 @@ type t = {
   mutable since_expiry : int;
   mutable sample_rate : int option;
   mutable sample_countdown : int;
+  mutable connected : bool;
+  mutable alive : bool;
+  mutable connection_mode : connection_mode;
+  (* Local L2 learning used only while disconnected in Fail_standalone. *)
+  local_macs : (Netpkt.Mac_addr.t, int) Hashtbl.t;
+  mutable standalone_forwards : int;
+  mutable crashes : int;
 }
 
 let node t = t.node
@@ -33,6 +41,34 @@ let datapath_id t = t.datapath_id
 let dataplane_name t = t.dataplane.Dataplane.name
 let set_controller t f = t.controller <- f
 let pmd t = t.pmd
+let connected t = t.connected
+let alive t = t.alive
+let connection_mode t = t.connection_mode
+let set_connection_mode t mode = t.connection_mode <- mode
+let standalone_forwards t = t.standalone_forwards
+
+let set_connected t up =
+  if t.connected <> up then begin
+    t.connected <- up;
+    (* Reconnected: the controller owns forwarding again, so forget what
+       standalone learning picked up while it was away. *)
+    if up then Hashtbl.reset t.local_macs
+  end
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.connected <- false;
+    t.crashes <- t.crashes + 1;
+    Hashtbl.reset t.local_macs;
+    (* Soft state dies with the process: every flow table empties. *)
+    for i = 0 to Pipeline.num_tables t.pipeline - 1 do
+      Flow_table.clear (Pipeline.table t.pipeline i)
+    done
+  end
+
+let restart t = t.alive <- true
+let crashes t = t.crashes
 
 let hardware_dataplane pipeline =
   (* ASIC: TCAM lookup, constant tiny cost. *)
@@ -96,18 +132,48 @@ let resolve_outputs t ~in_port outputs =
             Node.transmit t.node ~port:p pkt
           done
       | Pipeline.Controller (_max_len, pkt) ->
-          t.packet_ins <- t.packet_ins + 1;
-          if Telemetry.Trace.enabled () then
-            Telemetry.Trace.emit
-              ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
-              ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"punt"
-              ~port:in_port ~detail:"output:controller" pkt;
-          t.controller
-            (Of_message.Packet_in
-               { in_port; reason = Of_message.Action_to_controller; packet = pkt }))
+          if not t.connected then
+            Stats.Counter.incr (Node.counters t.node) "drop_disconnected_punt"
+          else begin
+            t.packet_ins <- t.packet_ins + 1;
+            if Telemetry.Trace.enabled () then
+              Telemetry.Trace.emit
+                ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+                ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"punt"
+                ~port:in_port ~detail:"output:controller" pkt;
+            t.controller
+              (Of_message.Packet_in
+                 { in_port; reason = Of_message.Action_to_controller; packet = pkt })
+          end)
     outputs
 
+(* Connection lost in Fail_standalone: degrade to a plain learning
+   switch so local traffic keeps flowing until the controller returns. *)
+let standalone_forward t ~in_port pkt =
+  t.standalone_forwards <- t.standalone_forwards + 1;
+  Hashtbl.replace t.local_macs pkt.Netpkt.Packet.src in_port;
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.emit
+      ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+      ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"standalone"
+      ~port:in_port ~detail:"local L2 forwarding (controller unreachable)" pkt;
+  let flood () =
+    for p = 0 to Node.port_count t.node - 1 do
+      if p <> in_port then Node.transmit t.node ~port:p pkt
+    done
+  in
+  if Netpkt.Mac_addr.is_unicast pkt.Netpkt.Packet.dst then
+    match Hashtbl.find_opt t.local_macs pkt.Netpkt.Packet.dst with
+    | Some out_port when out_port <> in_port ->
+        Node.transmit t.node ~port:out_port pkt
+    | Some _ -> ()
+    | None -> flood ()
+  else flood ()
+
 let handle_packet t ~in_port pkt =
+  if not t.alive then
+    Stats.Counter.incr (Node.counters t.node) "drop_crashed"
+  else
   let now_ns = Sim_time.to_ns (Engine.now t.engine) in
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
@@ -125,7 +191,7 @@ let handle_packet t ~in_port pkt =
       pkt;
   let complete () =
     (match t.sample_rate with
-    | Some rate ->
+    | Some rate when t.connected ->
         t.sample_countdown <- t.sample_countdown - 1;
         if t.sample_countdown <= 0 then begin
           t.sample_countdown <- rate;
@@ -134,7 +200,7 @@ let handle_packet t ~in_port pkt =
             (Of_message.Packet_in
                { in_port; reason = Of_message.Action_to_controller; packet = pkt })
         end
-    | None -> ());
+    | Some _ | None -> ());
     t.since_expiry <- t.since_expiry + 1;
     if t.since_expiry >= 1024 then begin
       t.since_expiry <- 0;
@@ -143,11 +209,17 @@ let handle_packet t ~in_port pkt =
     if result.Pipeline.table_miss then begin
       match t.miss with
       | Drop_on_miss -> Stats.Counter.incr (Node.counters t.node) "drop_table_miss"
-      | Send_to_controller ->
+      | Send_to_controller when t.connected ->
           t.packet_ins <- t.packet_ins + 1;
           t.controller
             (Of_message.Packet_in
                { in_port; reason = Of_message.No_match; packet = pkt })
+      | Send_to_controller -> (
+          (* Connection interruption: the OpenFlow fail mode decides. *)
+          match t.connection_mode with
+          | Fail_secure ->
+              Stats.Counter.incr (Node.counters t.node) "drop_fail_secure"
+          | Fail_standalone -> standalone_forward t ~in_port pkt)
     end;
     resolve_outputs t ~in_port result.Pipeline.outputs
   in
@@ -263,6 +335,8 @@ let port_stats t =
       })
 
 let handle_message t msg =
+  if not t.alive then () (* a crashed agent answers nothing *)
+  else
   match msg with
   | Of_message.Hello -> t.controller Of_message.Hello
   | Of_message.Echo_request payload -> t.controller (Of_message.Echo_reply payload)
@@ -296,6 +370,9 @@ let stats t =
       ("pmd_dropped", Pmd.dropped t.pmd);
       ("packet_ins", t.packet_ins);
       ("flow_mods", t.flow_mods);
+      ("standalone_forwards", t.standalone_forwards);
+      ("crashes", t.crashes);
+      ("connected", if t.connected then 1 else 0);
     ]
 
 let publish_metrics ?registry ?(labels = []) t =
@@ -346,6 +423,12 @@ let create engine ~name ~ports ?(dataplane = Eswitch) ?(pmd = Pmd.default_config
       since_expiry = 0;
       sample_rate = None;
       sample_countdown = 0;
+      connected = true;
+      alive = true;
+      connection_mode = Fail_secure;
+      local_macs = Hashtbl.create 64;
+      standalone_forwards = 0;
+      crashes = 0;
     }
   in
   Node.set_handler node (fun _node ~in_port pkt -> handle_packet t ~in_port pkt);

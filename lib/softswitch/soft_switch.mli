@@ -18,6 +18,16 @@ type dataplane_kind =
 
 type miss_behavior = Drop_on_miss | Send_to_controller
 
+type connection_mode =
+  | Fail_secure
+      (** Connection interruption: keep installed flows (idle/hard
+          timeouts still expire them) but drop packets that would punt to
+          the controller, counted as ["drop_fail_secure"]. *)
+  | Fail_standalone
+      (** Connection interruption: table misses fall back to local L2
+          learning so intra-switch traffic keeps flowing.  The learned
+          table is forgotten when the controller reconnects. *)
+
 type t
 
 val create :
@@ -42,6 +52,36 @@ val dataplane_name : t -> string
 
 val set_controller : t -> (Openflow.Of_message.t -> unit) -> unit
 (** Where the agent sends its messages (packet-ins, replies). *)
+
+val set_connection_mode : t -> connection_mode -> unit
+(** What to do with would-be packet-ins while disconnected.  Default
+    [Fail_secure], per the OpenFlow spec. *)
+
+val connection_mode : t -> connection_mode
+
+val set_connected : t -> bool -> unit
+(** Flip the switch's view of the control channel.  While [false], the
+    agent stops emitting packet-ins and samples; misses obey the
+    {!connection_mode}.  Flipping back to [true] clears the standalone
+    learning table (the controller owns forwarding again). *)
+
+val connected : t -> bool
+
+val crash : t -> unit
+(** Kill the switch process: all flow tables and learned state are wiped,
+    every packet is dropped (counted as ["drop_crashed"]) and the agent
+    answers no OpenFlow messages until {!restart}. *)
+
+val restart : t -> unit
+(** Bring a crashed switch back up — empty tables, disconnected until the
+    channel notices and resyncs. *)
+
+val alive : t -> bool
+val crashes : t -> int
+
+val standalone_forwards : t -> int
+(** Packets forwarded by local L2 learning while disconnected in
+    [Fail_standalone]. *)
 
 val handle_message : t -> Openflow.Of_message.t -> unit
 (** Deliver a controller→switch message to the agent.  Errors (e.g. table

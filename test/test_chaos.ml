@@ -1,0 +1,179 @@
+(* The ISSUE acceptance scenario: a scripted chaos run — controller
+   blackout mid-traffic, transient management failures, then a trunk
+   failure — against a full redundant-trunk deployment.  Fail-standalone
+   keeps intra-switch forwarding alive, the channel reconnects and
+   resyncs, the watchdog fails over, the registry shows the recovery
+   counters, and the whole thing is deterministic under a fixed seed. *)
+
+open Harmless
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Channel black-holed at 8ms and restored at 20ms; the management plane
+   turns flaky just before the primary trunk dies at 32ms, so the
+   watchdog's failover has to retry through the faults. *)
+let storm_script =
+  "8ms   channel        down\n\
+   20ms  channel        up\n\
+   30ms  mgmt           flaky 2\n\
+   32ms  trunk:primary  down\n"
+
+let run_storm ?(mode = Softswitch.Soft_switch.Fail_standalone) ?(seed = 42) ()
+    =
+  let engine = Simnet.Engine.create () in
+  match Chaos.build engine ~num_hosts:3 ~seed ~mode () with
+  | Error e -> Alcotest.failf "build: %s" e
+  | Ok rig -> (
+      match
+        Chaos.run rig ~script:storm_script ~duration:(Simnet.Sim_time.ms 60) ()
+      with
+      | Error e -> Alcotest.failf "run: %s" e
+      | Ok report -> (rig, report))
+
+let counter_value ~labels name =
+  Telemetry.Registry.Counter.value
+    (Telemetry.Registry.Counter.v ~labels name)
+
+let acceptance_tests =
+  [
+    tc "scripted storm: degrade, reconnect, fail over, recover" (fun () ->
+        Telemetry.Registry.reset Telemetry.Registry.default;
+        let _rig, r = run_storm () in
+        check Alcotest.bool "all four faults applied" true
+          (List.for_all
+             (fun a -> Result.is_ok a.Simnet.Fault.outcome)
+             r.Chaos.faults);
+        check Alcotest.int "four faults" 4 (List.length r.Chaos.faults);
+        (* Fail-standalone kept intra-switch traffic moving during the
+           blackout: some pings were lost while the outage went
+           undetected, but not all of them. *)
+        check Alcotest.bool "standalone forwarding used" true
+          (r.Chaos.standalone_forwards > 0);
+        check Alcotest.bool "some pings lost to the storm" true
+          (r.Chaos.pings_answered < r.Chaos.pings_sent);
+        check Alcotest.bool "most pings still answered" true
+          (2 * r.Chaos.pings_answered > r.Chaos.pings_sent);
+        (* The channel noticed the blackout, dropped messages, then
+           reconnected and the controller replayed its flow state. *)
+        check Alcotest.bool "channel dropped control messages" true
+          (r.Chaos.channel_dropped > 0);
+        check Alcotest.int "one reconnect" 1 r.Chaos.reconnects;
+        check Alcotest.bool "flows resynced" true (r.Chaos.resyncs >= 1);
+        (* The trunk failure drove exactly one failover, through retries
+           caused by the flaky management plane. *)
+        check Alcotest.int "one failover" 1 r.Chaos.failovers;
+        check Alcotest.bool "on backup" true (r.Chaos.final_active = `Backup);
+        check Alcotest.bool "mgmt faults were injected" true
+          (r.Chaos.mgmt_faults_injected > 0);
+        check Alcotest.bool "recovery exercised the retry path" true
+          (r.Chaos.mgmt_retries > 0 || r.Chaos.activation_retries > 0);
+        (* Healthy end state: connected, watching or idle, every pair
+           reachable again. *)
+        check Alcotest.bool "channel connected at the end" true
+          r.Chaos.final_connected;
+        check Alcotest.bool "watchdog not given up" true
+          (match r.Chaos.watchdog with
+          | Failover.Gave_up _ -> false
+          | _ -> true);
+        check Alcotest.bool "recovered" true r.Chaos.recovered;
+        (* Same facts via the registry, as the exporters would see them. *)
+        check Alcotest.bool "reconnects_total exported" true
+          (counter_value
+             ~labels:[ ("switch", "chaos-legacy-ss2") ]
+             "reconnects_total"
+          > 0);
+        check Alcotest.bool "failovers_total exported" true
+          (counter_value
+             ~labels:[ ("direction", "to_backup") ]
+             "failovers_total"
+          >= 1);
+        let retried =
+          List.exists
+            (fun op ->
+              counter_value ~labels:[ ("op", op) ] "retries_total" > 0)
+            [
+              "manager.load_candidate";
+              "manager.commit";
+              "manager.verify";
+              "manager.rollback";
+              "failover.activate_backup";
+              "failover.activate_primary";
+            ]
+        in
+        check Alcotest.bool "retries_total exported" true retried);
+    tc "fail-secure contrast: no standalone forwarding" (fun () ->
+        Telemetry.Registry.reset Telemetry.Registry.default;
+        let _rig, r = run_storm ~mode:Softswitch.Soft_switch.Fail_secure () in
+        check Alcotest.int "no standalone forwards" 0
+          r.Chaos.standalone_forwards;
+        check Alcotest.bool "blackout costs more pings than standalone" true
+          (r.Chaos.pings_answered < r.Chaos.pings_sent);
+        (* Recovery does not depend on the degraded mode — once the
+           channel is back and the trunk failed over, service returns. *)
+        check Alcotest.bool "still recovers" true r.Chaos.recovered);
+    tc "identical seeds give identical reports" (fun () ->
+        let snapshot () =
+          Telemetry.Registry.reset Telemetry.Registry.default;
+          let _rig, r = run_storm () in
+          ( r.Chaos.pings_sent,
+            r.Chaos.pings_answered,
+            r.Chaos.probe_answered,
+            r.Chaos.reconnects,
+            r.Chaos.resyncs,
+            r.Chaos.mgmt_retries,
+            r.Chaos.activation_retries,
+            r.Chaos.failovers,
+            r.Chaos.standalone_forwards,
+            r.Chaos.channel_dropped,
+            r.Chaos.mgmt_faults_injected )
+        in
+        let a = snapshot () and b = snapshot () in
+        check Alcotest.bool "bit-identical recovery reports" true (a = b));
+    tc "watchdog surfaces a terminal activation failure" (fun () ->
+        Telemetry.Registry.reset Telemetry.Registry.default;
+        let engine = Simnet.Engine.create () in
+        let rig =
+          match
+            Chaos.build engine ~num_hosts:2 ~seed:7
+              ~retry:
+                (Mgmt.Retry.policy ~max_attempts:2
+                   ~base_delay:(Simnet.Sim_time.ms 1) ())
+              ()
+          with
+          | Ok rig -> rig
+          | Error e -> Alcotest.failf "build: %s" e
+        in
+        (* Enough forced faults that both activation attempts (and all
+           their management ops) fail: the watchdog must give up and say
+           so, not retry forever or swallow the error. *)
+        let script = "2ms mgmt flaky 100\n4ms trunk:primary down\n" in
+        let r =
+          match
+            Chaos.run rig ~script ~duration:(Simnet.Sim_time.ms 40) ()
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "run: %s" e
+        in
+        check Alcotest.int "no failover happened" 0 r.Chaos.failovers;
+        (match r.Chaos.watchdog with
+        | Failover.Gave_up msg ->
+            check Alcotest.bool "terminal error names the give-up" true
+              (contains msg "gave up after 2 attempts")
+        | s ->
+            Alcotest.failf "expected Gave_up, got %s"
+              (match s with
+              | Failover.Idle -> "Idle"
+              | Failover.Watching -> "Watching"
+              | Failover.Activating -> "Activating"
+              | Failover.Gave_up _ -> "Gave_up"));
+        check Alcotest.bool "last_error recorded" true
+          (Failover.last_error (Chaos.failover rig) <> None));
+  ]
+
+let suite = [ ("chaos", acceptance_tests) ]
