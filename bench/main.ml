@@ -321,6 +321,41 @@ let meter_tests =
              ignore (Openflow.Meter_table.apply meters ~id:1 ~now_ns:!clock ~bytes:1500)));
     ]
 
+(* ---- trace/* : the observability tax ----
+
+   The pair prices the tracing hook both ways: "emit-noop" is the
+   instrumented-site idiom with no sink installed (one ref read, no
+   allocation — see the matching no-alloc test), "emit-collector" is
+   the same hop landing in a Collector (including the sink
+   install/remove ref writes the closure needs to keep the global sink
+   honest between tests). *)
+
+let trace_tests =
+  let pkt =
+    Netpkt.Packet.udp ~dst:(mac 2) ~src:(mac 1) ~ip_src:(ip "10.0.0.1")
+      ~ip_dst:(ip "10.0.0.2") ~src_port:1 ~dst_port:2 "x"
+  in
+  let collector = Telemetry.Trace.Collector.create () in
+  let emitted = ref 0 in
+  Test.make_grouped ~name:"trace"
+    [
+      Test.make ~name:"emit-noop"
+        (Staged.stage (fun () ->
+             if Telemetry.Trace.enabled () then
+               Telemetry.Trace.emit ~ts_ns:0 ~component:"bench"
+                 ~layer:Telemetry.Trace.Host ~stage:"noop" pkt));
+      Test.make ~name:"emit-collector"
+        (Staged.stage (fun () ->
+             Telemetry.Trace.Collector.install collector;
+             Telemetry.Trace.emit ~ts_ns:0 ~component:"bench"
+               ~layer:Telemetry.Trace.Host ~stage:"sunk" pkt;
+             Telemetry.Trace.Collector.uninstall collector;
+             incr emitted;
+             (* keep the accumulator bounded over millions of runs *)
+             if !emitted land 4095 = 0 then
+               Telemetry.Trace.Collector.clear collector));
+    ]
+
 (* ---- harness ---- *)
 
 let all_tests =
@@ -336,17 +371,20 @@ let all_tests =
     codec_tests;
     meter_tests;
     ablation_tests;
+    trace_tests;
   ]
 
-let run_benchmarks () =
+type row = { row_name : string; ns_per_run : float; r_square : float; runs : int }
+
+let run_benchmarks ~quota () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:(Some 100) () in
-  Printf.printf "%-36s %14s %10s\n" "benchmark" "ns/run" "r^2";
-  Printf.printf "%s\n" (String.make 62 '-');
-  List.iter
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 100) () in
+  Printf.printf "%-36s %14s %10s %8s\n" "benchmark" "ns/run" "r^2" "runs";
+  Printf.printf "%s\n" (String.make 71 '-');
+  List.concat_map
     (fun group ->
       let raw = Benchmark.all cfg [ instance ] group in
       let results = Analyze.all ols instance raw in
@@ -359,19 +397,82 @@ let run_benchmarks () =
               | Some _ | None -> nan
             in
             let r2 = Option.value (Analyze.OLS.r_square result) ~default:nan in
-            (name, ns, r2) :: acc)
+            let runs =
+              match Hashtbl.find_opt raw name with
+              | Some (b : Benchmark.t) -> b.Benchmark.stats.Benchmark.samples
+              | None -> 0
+            in
+            { row_name = name; ns_per_run = ns; r_square = r2; runs } :: acc)
           results []
-        |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+        |> List.sort (fun a b -> String.compare a.row_name b.row_name)
       in
       List.iter
-        (fun (name, ns, r2) -> Printf.printf "%-36s %14.1f %10.4f\n" name ns r2)
-        rows)
-    all_tests;
-  print_newline ()
+        (fun r ->
+          Printf.printf "%-36s %14.1f %10.4f %8d\n" r.row_name r.ns_per_run
+            r.r_square r.runs)
+        rows;
+      rows)
+    all_tests
+
+(* Machine-readable results, one object per benchmark — what the CI
+   smoke job parses.  NaN has no JSON spelling, so unavailable
+   estimates become null. *)
+let write_json ~path ~quick rows =
+  let open Telemetry.Json in
+  let num f = if Float.is_nan f then Null else Float f in
+  let doc =
+    Obj
+      [
+        ("schema", Str "harmless-bench/1");
+        ("quick", Bool quick);
+        ( "results",
+          Arr
+            (List.map
+               (fun r ->
+                 Obj
+                   [
+                     ("name", Str r.row_name);
+                     ("ns_per_run", num r.ns_per_run);
+                     ("r_square", num r.r_square);
+                     ("runs", Int r.runs);
+                   ])
+               rows) );
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s (%d results)\n" path (List.length rows)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--json FILE] [--quick]\n\
+     \  --json FILE  also write results as JSON (see EXPERIMENTS.md)\n\
+     \  --quick      short measurement quota, skip the E1-E15 tables";
+  exit 2
 
 let () =
+  let json_path = ref None and quick = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_path := Some file;
+        parse rest
+    | [ "--json" ] -> usage ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   print_endline "== Bechamel microbenchmarks ==";
-  run_benchmarks ();
+  let rows = run_benchmarks ~quota:(if !quick then 0.02 else 0.3) () in
+  print_newline ();
+  (match !json_path with
+  | Some path -> write_json ~path ~quick:!quick rows
+  | None -> ());
+  if !quick then ()
+  else begin
   print_endline "== Experiment tables (E1-E15) ==";
   ignore (Experiments_lib.E1_walkthrough.run ());
   ignore (Experiments_lib.E2_throughput.run ());
@@ -388,3 +489,4 @@ let () =
   ignore (Experiments_lib.E13_failover.run ());
   ignore (Experiments_lib.E14_tcp.run ());
   ignore (Experiments_lib.E15_oversubscription.run ())
+  end

@@ -397,6 +397,97 @@ let chaos_cmd =
       $ chaos_script_arg $ chaos_seed_arg $ chaos_mode_arg
       $ chaos_failback_arg $ chaos_ping_arg)
 
+(* ---- top / alerts: the monitoring plane ---- *)
+
+let build_dashboard duration_ms =
+  match Harmless.Dashboard.demo () with
+  | Error msg ->
+      Printf.eprintf "dashboard demo failed to build: %s\n" msg;
+      exit 1
+  | Ok dash ->
+      Harmless.Dashboard.advance dash (Simnet.Sim_time.ms duration_ms);
+      dash
+
+let run_top once duration_ms refresh_ms top_n window_ms =
+  let window = Simnet.Sim_time.ms window_ms in
+  if once then
+    print_string
+      (Harmless.Dashboard.render_top ~top_n ~window (build_dashboard duration_ms))
+  else begin
+    (* "Live": advance the simulation one refresh interval per frame. *)
+    let dash = build_dashboard refresh_ms in
+    let frames = max 1 (duration_ms / max 1 refresh_ms) in
+    for frame = 1 to frames do
+      if frame > 1 then
+        Harmless.Dashboard.advance dash (Simnet.Sim_time.ms refresh_ms);
+      print_string "\x1b[2J\x1b[H";
+      print_string (Harmless.Dashboard.render_top ~top_n ~window dash);
+      flush stdout
+    done
+  end
+
+let top_once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:"Render a single frame after the full run instead of refreshing.")
+
+let top_duration_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "duration" ] ~docv:"MS"
+        ~doc:"Sim time to drive traffic for, in milliseconds.")
+
+let top_refresh_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "refresh" ] ~docv:"MS"
+        ~doc:"Sim time between frames when not using $(b,--once).")
+
+let top_n_arg =
+  Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Flows to show.")
+
+let top_window_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "window" ] ~docv:"MS" ~doc:"Rate window, in milliseconds.")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"live dashboard over polled OpenFlow statistics"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Builds the quickstart deployment with a stats poller on the \
+              OpenFlow switch, drives probe traffic, and renders per-port \
+              utilization bars, the top flows by byte rate and the alert \
+              summary — all derived from polled flow-stats/port-stats \
+              replies, i.e. what an operator's collector would see.  \
+              Deterministic: the same flags always render the same frames.";
+         ])
+    Term.(
+      const run_top $ top_once_arg $ top_duration_arg $ top_refresh_arg
+      $ top_n_arg $ top_window_arg)
+
+let run_alerts _eval_once duration_ms =
+  print_string (Harmless.Dashboard.render_alerts (build_dashboard duration_ms))
+
+let alerts_eval_once_arg =
+  Arg.(
+    value & flag
+    & info [ "eval-once" ]
+        ~doc:"Evaluate over one scripted run and print the final rule \
+              states and transition log (the default behaviour, named for \
+              scripting).")
+
+let alerts_cmd =
+  Cmd.v
+    (Cmd.info "alerts"
+       ~doc:"evaluate the demo SLO rules and print states and transitions")
+    Term.(const run_alerts $ alerts_eval_once_arg $ top_duration_arg)
+
 (* ---- walkthrough ---- *)
 
 let run_walkthrough () =
@@ -413,7 +504,7 @@ let main =
        ~doc:"operate the HARMLESS hybrid-SDN reproduction")
     [
       cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
-      trace_cmd; metrics_cmd; chaos_cmd;
+      trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd;
     ]
 
 let () = exit (Cmd.eval main)

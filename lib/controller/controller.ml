@@ -15,6 +15,12 @@ type t = {
   mutable resyncs : int;
   mutable errors : string list; (* newest first *)
   mutable stats_waiters : (int64 * (Of_message.flow_stat list -> unit)) list;
+  mutable port_stats_waiters : (int64 * (Of_message.port_stat list -> unit)) list;
+  (* Outstanding controller-originated echoes: payloads are "rtt:<seq>",
+     disjoint from the channel keepalive's integer payloads. *)
+  mutable echo_waiters :
+    (int64 * string * Simnet.Sim_time.t * (Simnet.Sim_time.span -> unit)) list;
+  mutable echo_seq : int;
 }
 
 and app = {
@@ -48,7 +54,12 @@ let create engine ?channel_latency ?channel_config () =
     resyncs = 0;
     errors = [];
     stats_waiters = [];
+    port_stats_waiters = [];
+    echo_waiters = [];
+    echo_seq = 0;
   }
+
+let engine t = t.engine
 
 let add_app t app = t.apps <- t.apps @ [ app ]
 
@@ -137,8 +148,27 @@ let handle_switch_message t dpid msg =
           t.stats_waiters <- List.map (fun w -> w) remaining @ rest;
           k stats
       | [] -> ())
-  | Of_message.Hello | Of_message.Echo_reply _ | Of_message.Barrier_reply _
-  | Of_message.Port_stats_reply _ -> ()
+  | Of_message.Port_stats_reply stats ->
+      let mine, rest =
+        List.partition (fun (d, _) -> Int64.equal d dpid) t.port_stats_waiters
+      in
+      (match mine with
+      | (_, k) :: remaining ->
+          t.port_stats_waiters <- remaining @ rest;
+          k stats
+      | [] -> ())
+  | Of_message.Echo_reply payload ->
+      (* Match on (dpid, payload): channel keepalives use bare integer
+         payloads and never collide with our "rtt:<seq>" probes. *)
+      let rec take acc = function
+        | [] -> ()
+        | (d, p, sent, k) :: rest when Int64.equal d dpid && String.equal p payload ->
+            t.echo_waiters <- List.rev_append acc rest;
+            k (Simnet.Sim_time.diff (Simnet.Engine.now t.engine) sent)
+        | w :: rest -> take (w :: acc) rest
+      in
+      take [] t.echo_waiters
+  | Of_message.Hello | Of_message.Barrier_reply _ -> ()
   | Of_message.Echo_request payload -> send t dpid (Of_message.Echo_reply payload)
   | Of_message.Features_request | Of_message.Flow_mod _ | Of_message.Group_mod _
   | Of_message.Meter_mod _
@@ -186,3 +216,14 @@ let publish_metrics ?registry ?(labels = []) t =
 let flow_stats t dpid ~on_reply =
   t.stats_waiters <- t.stats_waiters @ [ (dpid, on_reply) ];
   send t dpid (Of_message.Flow_stats_request { table_id = None })
+
+let port_stats t dpid ~on_reply =
+  t.port_stats_waiters <- t.port_stats_waiters @ [ (dpid, on_reply) ];
+  send t dpid Of_message.Port_stats_request
+
+let measure_rtt t dpid ~on_reply =
+  t.echo_seq <- t.echo_seq + 1;
+  let payload = Printf.sprintf "rtt:%d" t.echo_seq in
+  t.echo_waiters <-
+    t.echo_waiters @ [ (dpid, payload, Simnet.Engine.now t.engine, on_reply) ];
+  send t dpid (Of_message.Echo_request payload)

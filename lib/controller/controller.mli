@@ -82,3 +82,18 @@ val publish_metrics :
 val flow_stats :
   t -> int64 -> on_reply:(Openflow.Of_message.flow_stat list -> unit) -> unit
 (** Issue a stats request; [on_reply] fires when the reply arrives. *)
+
+val port_stats :
+  t -> int64 -> on_reply:(Openflow.Of_message.port_stat list -> unit) -> unit
+(** Issue a per-port counter request; [on_reply] fires on the reply. *)
+
+val measure_rtt :
+  t -> int64 -> on_reply:(Simnet.Sim_time.span -> unit) -> unit
+(** Hairpin the control channel with an echo probe and report the
+    round-trip time.  Probe payloads are tagged so they never collide
+    with the channel's own keepalive echoes.  If the channel drops the
+    probe or its reply, [on_reply] simply never fires. *)
+
+val engine : t -> Simnet.Engine.t
+(** The event engine this controller schedules on — pollers and other
+    periodic machinery attach here. *)

@@ -7,8 +7,10 @@ type t = {
   forward_table : int;
   priority : int;
   mutable dpids : int64 list;
-  counters : (Ipv4_addr.t * Ipv4_addr.t, int * int) Hashtbl.t;
-  mutable polls : int;
+  (* One stats poller per datapath — the single source of counter truth.
+     The matrix below is a *view* over the pollers' latest flow-stats
+     replies; the monitor keeps no books of its own. *)
+  pollers : (int64, Stats_poller.t) Hashtbl.t;
 }
 
 let create ~pairs ?(table = 0) ?(forward_table = 1) ?(priority = 3000) () =
@@ -18,8 +20,7 @@ let create ~pairs ?(table = 0) ?(forward_table = 1) ?(priority = 3000) () =
     forward_table;
     priority;
     dpids = [];
-    counters = Hashtbl.create 16;
-    polls = 0;
+    pollers = Hashtbl.create 4;
   }
 
 let pair_match (src, dst) =
@@ -46,28 +47,18 @@ let app t =
   in
   { (Controller.no_op_app "monitor") with Controller.switch_up }
 
-let absorb t stats =
-  List.iter
-    (fun pair ->
-      let m = pair_match pair in
-      match
-        List.find_opt
-          (fun (s : Of_message.flow_stat) ->
-            s.Of_message.stat_table_id = t.table
-            && Of_match.equal s.Of_message.stat_match m)
-          stats
-      with
-      | Some s ->
-          Hashtbl.replace t.counters pair
-            (s.Of_message.stat_packets, s.Of_message.stat_bytes)
-      | None -> ())
-    t.pairs;
-  t.polls <- t.polls + 1
+let poller_for t ctrl dpid =
+  match Hashtbl.find_opt t.pollers dpid with
+  | Some p -> p
+  | None ->
+      let p = Stats_poller.create ctrl dpid in
+      Hashtbl.replace t.pollers dpid p;
+      p
+
+let poller t dpid = Hashtbl.find_opt t.pollers dpid
 
 let poll t ctrl =
-  List.iter
-    (fun dpid -> Controller.flow_stats ctrl dpid ~on_reply:(fun stats -> absorb t stats))
-    t.dpids
+  List.iter (fun dpid -> Stats_poller.poll_now (poller_for t ctrl dpid)) t.dpids
 
 let start_polling t ctrl engine ~period ~rounds =
   for i = 1 to rounds do
@@ -77,7 +68,25 @@ let start_polling t ctrl engine ~period ~rounds =
 let matrix t =
   List.map
     (fun pair ->
-      (pair, Option.value (Hashtbl.find_opt t.counters pair) ~default:(0, 0)))
+      let m = pair_match pair in
+      (* Flow counters are monotonic, so across pollers (and replies) the
+         entry with the most packets is the freshest view of this pair. *)
+      let best =
+        Hashtbl.fold
+          (fun _ p acc ->
+            List.fold_left
+              (fun acc (s : Of_message.flow_stat) ->
+                if
+                  s.Of_message.stat_table_id = t.table
+                  && Of_match.equal s.Of_message.stat_match m
+                  && s.Of_message.stat_packets >= fst acc
+                then (s.Of_message.stat_packets, s.Of_message.stat_bytes)
+                else acc)
+              acc (Stats_poller.latest_flows p))
+          t.pollers (0, 0)
+      in
+      (pair, best))
     t.pairs
 
-let polls_completed t = t.polls
+let polls_completed t =
+  Hashtbl.fold (fun _ p acc -> acc + Stats_poller.flow_replies p) t.pollers 0

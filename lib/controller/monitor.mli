@@ -6,7 +6,13 @@
     The app piggybacks on whatever forwarding rules exist: it installs
     its own zero-effect accounting rules (high-priority per-(src,dst)
     pair matches whose action continues to the forwarding table via
-    [Goto_table]), then polls their counters. *)
+    [Goto_table]), then polls their counters.
+
+    Counter acquisition is delegated to one {!Stats_poller} per
+    datapath — the monitor keeps no accounting of its own; {!matrix} is
+    a view over the pollers' latest flow-stats replies, so the same
+    polled numbers feed this matrix, the [harmlessctl top] dashboard
+    and any alert rules. *)
 
 type t
 
@@ -35,3 +41,8 @@ val matrix : t -> ((Netpkt.Ipv4_addr.t * Netpkt.Ipv4_addr.t) * (int * int)) list
 (** Latest (packets, bytes) per tracked pair, in the order given. *)
 
 val polls_completed : t -> int
+(** Flow-stats replies landed across all of the monitor's pollers. *)
+
+val poller : t -> int64 -> Stats_poller.t option
+(** The per-datapath poller backing the matrix (created lazily at the
+    first {!poll}) — exposes the underlying time series. *)

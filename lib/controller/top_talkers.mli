@@ -16,3 +16,15 @@ val ranking : t -> (Netpkt.Ipv4_addr.t * int) list
 
 val estimated_share : t -> Netpkt.Ipv4_addr.t -> float
 (** Fraction of sampled traffic attributed to one source, in [0, 1]. *)
+
+val attach_poller : t -> Stats_poller.t -> unit
+(** Also source exact counters from this {!Stats_poller} — sampling
+    gives cheap estimates, the monitoring plane gives ground truth; the
+    two rankings side by side is exactly the sFlow-vs-counters
+    comparison operators run. *)
+
+val byte_ranking : t -> (Netpkt.Ipv4_addr.t * int) list
+(** Sources by cumulative bytes, descending, from the attached pollers'
+    latest flow stats: every flow matching a /32 [ip_src] attributes its
+    byte counter to that source.  Ties break on address order; empty
+    until a poller is attached and has a reply. *)

@@ -205,6 +205,8 @@ type report = {
   final_active : [ `Primary | `Backup ];
   final_connected : bool;
   recovered : bool;
+  slo_evaluations : int;
+  slo_breaches : (string * (int * int option) list) list;
 }
 
 let retry_ops =
@@ -248,8 +250,42 @@ let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
   if duration <= 0 then Error "chaos: duration must be positive"
   else
     let* _events = Fault.run_script t.injector script in
+    (* SLO rules evaluated on the engine clock during the storm and the
+       recovery grace; their firing windows land in the report. *)
+    let alerts = Telemetry.Alert.create () in
+    let ch = channel t in
+    Telemetry.Alert.add_rule alerts ~name:"control-channel-up"
+      ~help:"the OpenFlow channel must stay connected"
+      (Telemetry.Alert.Sampled
+         (fun _now ->
+           Some
+             (match Sdnctl.Channel.state ch with
+             | Sdnctl.Channel.Connected -> 1.0
+             | Sdnctl.Channel.Disconnected -> 0.0)))
+      (Telemetry.Alert.Below 0.5);
+    let answered_series =
+      Telemetry.Timeseries.create ~name:"pings_answered_total" ()
+    in
+    Telemetry.Alert.add_rule alerts ~name:"probe-liveness"
+      ~help:"probe answers must keep arriving"
+      (Telemetry.Alert.Series answered_series)
+      (Telemetry.Alert.Rate_below
+         { per_second = 1.0; window = Sim_time.ms 3 });
     let answered_before = answered t in
     let stop = Sim_time.add (Engine.now t.engine) duration in
+    (* Evaluate only during the storm: after it, probes stop by design,
+       so a liveness rule would "breach" on the silence. *)
+    let slo_tick () =
+      let now = Engine.now t.engine in
+      if Sim_time.( <= ) now stop then begin
+        let now_ns = Sim_time.to_ns now in
+        Telemetry.Timeseries.record answered_series ~ts_ns:now_ns
+          (float_of_int (answered t));
+        Telemetry.Alert.eval alerts ~now_ns
+      end;
+      Sim_time.( < ) now stop
+    in
+    Engine.schedule_every t.engine (Sim_time.us 500) slo_tick;
     let rec traffic k () =
       if Sim_time.( < ) (Engine.now t.engine) stop then begin
         ping_pair t k;
@@ -271,7 +307,6 @@ let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
     Engine.run t.engine
       ~until:(Sim_time.add (Engine.now t.engine) (Sim_time.ms 20));
     let probe_answered = answered t - probe_before in
-    let ch = channel t in
     Ok
       {
         duration;
@@ -296,6 +331,11 @@ let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
         final_active = Failover.active t.fo;
         final_connected = Sdnctl.Channel.state ch = Sdnctl.Channel.Connected;
         recovered = probe_answered = probe_pairs;
+        slo_evaluations = Telemetry.Alert.evaluations alerts;
+        slo_breaches =
+          List.map
+            (fun rule -> (rule, Telemetry.Alert.breaches alerts rule))
+            (Telemetry.Alert.rules alerts);
       }
 
 let pp_report ppf r =
@@ -328,4 +368,22 @@ let pp_report ppf r =
   (match r.watchdog with
   | Failover.Gave_up msg -> fprintf ppf "  watchdog GAVE UP: %s@," msg
   | Failover.Idle | Failover.Watching | Failover.Activating -> ());
+  let total_breaches =
+    List.fold_left (fun acc (_, ws) -> acc + List.length ws) 0 r.slo_breaches
+  in
+  fprintf ppf "  SLO: %d breach window(s) across %d evaluations@,"
+    total_breaches r.slo_evaluations;
+  List.iter
+    (fun (rule, windows) ->
+      List.iter
+        (fun (from_ns, until_ns) ->
+          match until_ns with
+          | Some u ->
+              fprintf ppf "    %s breached %a -> %a@," rule Sim_time.pp
+                (Sim_time.of_ns from_ns) Sim_time.pp (Sim_time.of_ns u)
+          | None ->
+              fprintf ppf "    %s breached %a -> still firing@," rule
+                Sim_time.pp (Sim_time.of_ns from_ns))
+        windows)
+    r.slo_breaches;
   fprintf ppf "@]"

@@ -79,6 +79,12 @@ type report = {
   final_active : [ `Primary | `Backup ];
   final_connected : bool;
   recovered : bool;  (** every recovery-probe pair answered *)
+  slo_evaluations : int;  (** alert-engine evaluation ticks *)
+  slo_breaches : (string * (int * int option) list) list;
+      (** per SLO rule, its firing windows as [(fired_at_ns,
+          resolved_at_ns)] — [None] = still firing at the end.  Rules:
+          ["control-channel-up"] (channel observed disconnected) and
+          ["probe-liveness"] (ping answers stalled for 3 ms). *)
 }
 
 val run :

@@ -1,0 +1,44 @@
+(** The operator dashboard behind [harmlessctl top] and
+    [harmlessctl alerts]: a canned deterministic HARMLESS deployment
+    with a {!Sdnctl.Stats_poller} collecting OpenFlow statistics and an
+    {!Telemetry.Alert} engine watching them, plus pure renderers that
+    turn the collected series into text frames.
+
+    The renderers live here rather than in the CLI so the frames are
+    testable: the same demo advanced the same sim-time span renders
+    byte-identical output. *)
+
+type t
+
+val demo :
+  ?num_hosts:int ->
+  ?poll_period:Simnet.Sim_time.span ->
+  unit ->
+  (t, string) result
+(** A 4-host (default) HARMLESS deployment with an L2-learning
+    controller, a stats poller on the OpenFlow switch (default period
+    10 ms) and three alert rules: ["control-channel-up"] (channel
+    observed disconnected), ["stats-freshness"] (no RTT sample for
+    50 ms) and ["dataplane-active"] (aggregate polled port receive rate
+    above 1 B/s — firing means traffic is flowing).  The control-plane
+    handshake has already settled; no traffic has been sent yet. *)
+
+val advance : t -> Simnet.Sim_time.span -> unit
+(** Run the deployment for a span of sim time: probe pings cycle
+    through every ordered host pair each millisecond, the poller polls,
+    and the alert rules are evaluated every 2 ms. *)
+
+val engine : t -> Simnet.Engine.t
+val poller : t -> Sdnctl.Stats_poller.t
+val alerts : t -> Telemetry.Alert.t
+val now_ns : t -> int
+
+val render_top : ?top_n:int -> ?window:Simnet.Sim_time.span -> t -> string
+(** One [top] frame: header (sim time, datapath, channel state, poll
+    and reply counts, last control RTT), per-port rx/tx rate bars over
+    [window] (default 30 ms, bars scaled to the busiest port), the
+    [top_n] (default 5) flows by byte rate, and the alert summary. *)
+
+val render_alerts : t -> string
+(** The alert engine in full: every rule with its state, then the
+    complete transition log, oldest first. *)

@@ -12,6 +12,9 @@
     - {!Failover}: a standby trunk with watchdog-driven recovery;
     - {!Chaos}: scripted fault injection against a full deployment,
       with a recovery report;
+    - {!Dashboard}: the monitoring-plane demo behind [harmlessctl top]
+      and [harmlessctl alerts] — a stats poller plus alert rules over a
+      live deployment, with deterministic text renderers;
     - {!Transparency}: the checker for the paper's central property —
       the controller cannot tell HARMLESS from a real OpenFlow switch;
     - {!Trace_view}: renders telemetry hop traces in the paper's
@@ -24,5 +27,6 @@ module Deployment = Deployment
 module Scaleout = Scaleout
 module Failover = Failover
 module Chaos = Chaos
+module Dashboard = Dashboard
 module Transparency = Transparency
 module Trace_view = Trace_view

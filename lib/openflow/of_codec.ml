@@ -586,7 +586,10 @@ let encode_body w (m : Of_message.t) =
           pad w 4;
           w_u64 w (Int64.of_int s.Of_message.rx_packets);
           w_u64 w (Int64.of_int s.Of_message.tx_packets);
-          for _ = 1 to 10 do w_u64 w 0L done;
+          w_u64 w (Int64.of_int s.Of_message.rx_bytes);
+          w_u64 w (Int64.of_int s.Of_message.tx_bytes);
+          (* rx/tx dropped, rx/tx errors, frame/over/crc err, collisions *)
+          for _ = 1 to 8 do w_u64 w 0L done;
           Wire.W.u32 w 0l;
           Wire.W.u32 w 0l)
         stats
@@ -799,9 +802,13 @@ let decode_multipart ~reply r =
         skip ~ctx r 4;
         let rx = Int64.to_int (r_u64 ~ctx r) in
         let tx = Int64.to_int (r_u64 ~ctx r) in
-        for _ = 1 to 10 do ignore (r_u64 ~ctx r) done;
+        let rx_bytes = Int64.to_int (r_u64 ~ctx r) in
+        let tx_bytes = Int64.to_int (r_u64 ~ctx r) in
+        for _ = 1 to 8 do ignore (r_u64 ~ctx r) done;
         skip ~ctx r 8;
-        stats := { Of_message.port_no; rx_packets = rx; tx_packets = tx } :: !stats
+        stats :=
+          { Of_message.port_no; rx_packets = rx; tx_packets = tx; rx_bytes; tx_bytes }
+          :: !stats
       done;
       Of_message.Port_stats_reply (List.rev !stats)
   | t, _ -> fail "multipart: unsupported type %d" t

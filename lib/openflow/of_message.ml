@@ -63,7 +63,13 @@ type flow_stat = {
   stat_bytes : int;
 }
 
-type port_stat = { port_no : int; rx_packets : int; tx_packets : int }
+type port_stat = {
+  port_no : int;
+  rx_packets : int;
+  tx_packets : int;
+  rx_bytes : int;
+  tx_bytes : int;
+}
 
 type t =
   | Hello

@@ -16,6 +16,13 @@ let schedule_after t span f =
   if span < 0 then invalid_arg "Engine.schedule_after: negative span";
   Event_queue.push t.queue (Sim_time.add t.clock span) f
 
+let schedule_every t ?start period f =
+  if period <= 0 then invalid_arg "Engine.schedule_every: period must be positive";
+  let first = match start with None -> period | Some s -> s in
+  if first < 0 then invalid_arg "Engine.schedule_every: negative start";
+  let rec tick () = if f () then schedule_after t period tick in
+  schedule_after t first tick
+
 let step t =
   match Event_queue.pop t.queue with
   | None -> false

@@ -16,6 +16,14 @@ val schedule_at : t -> Sim_time.t -> (unit -> unit) -> unit
 val schedule_after : t -> Sim_time.span -> (unit -> unit) -> unit
 (** @raise Invalid_argument if the span is negative. *)
 
+val schedule_every : t -> ?start:Sim_time.span -> Sim_time.span -> (unit -> bool) -> unit
+(** [schedule_every t period f] runs [f] every [period] (first firing
+    after [start], default [period]) until [f] returns [false].  The
+    callback may reschedule itself at a different cadence by returning
+    [false] and calling {!schedule_after} — that is how adaptive pollers
+    are built on top of this.
+    @raise Invalid_argument if [period <= 0] or [start < 0]. *)
+
 val step : t -> bool
 (** Run the earliest pending event.  [false] if none was pending. *)
 

@@ -56,6 +56,9 @@ let transmit t ~port pkt =
   | Some send ->
       Stats.Counter.incr t.counters "tx";
       Stats.Counter.incr t.counters (Printf.sprintf "tx.%d" port);
+      Stats.Counter.incr t.counters
+        ~by:(Netpkt.Packet.wire_size pkt)
+        (Printf.sprintf "tx_bytes.%d" port);
       run_taps t Tx port pkt;
       send pkt
 
@@ -63,6 +66,9 @@ let deliver t ~port pkt =
   check_port t port;
   Stats.Counter.incr t.counters "rx";
   Stats.Counter.incr t.counters (Printf.sprintf "rx.%d" port);
+  Stats.Counter.incr t.counters
+    ~by:(Netpkt.Packet.wire_size pkt)
+    (Printf.sprintf "rx_bytes.%d" port);
   run_taps t Rx port pkt;
   t.handler t ~in_port:port pkt
 

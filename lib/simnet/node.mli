@@ -52,7 +52,8 @@ val carrier : t -> port:int -> bool
 
 val counters : t -> Stats.Counter.t
 (** Per-node counters; ["rx"], ["tx"], per-port ["rx.<n>"], ["tx.<n>"],
-    and drop reasons. *)
+    per-port byte totals ["rx_bytes.<n>"], ["tx_bytes.<n>"] (wire
+    sizes — what OpenFlow port stats report), and drop reasons. *)
 
 type direction = Rx | Tx
 

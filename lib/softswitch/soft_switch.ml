@@ -332,6 +332,8 @@ let port_stats t =
         Of_message.port_no = p;
         rx_packets = Stats.Counter.get counters (Printf.sprintf "rx.%d" p);
         tx_packets = Stats.Counter.get counters (Printf.sprintf "tx.%d" p);
+        rx_bytes = Stats.Counter.get counters (Printf.sprintf "rx_bytes.%d" p);
+        tx_bytes = Stats.Counter.get counters (Printf.sprintf "tx_bytes.%d" p);
       })
 
 let handle_message t msg =

@@ -1,0 +1,84 @@
+(** Declarative alerting over metrics and time series — the SLO layer
+    of the monitoring plane.
+
+    A rule names an {!input} (a {!Timeseries.t} or any sampled read-out,
+    e.g. a registry gauge), a {!condition} over it, and a [for_]
+    duration the condition must hold before the rule {e fires} — the
+    Prometheus pending→firing shape, evaluated deterministically on the
+    simulation clock.
+
+    {!eval} walks every rule, advances its state machine and appends
+    any transition to an evaluation log; {!breaches} turns a rule's log
+    into closed/open firing windows, which is what chaos reports and
+    the dashboard surface as "SLO breach windows".  Everything is a
+    pure function of the evaluation timestamps and the observed values,
+    so a seeded run always yields the same log. *)
+
+(** Where a rule reads its value. *)
+type input =
+  | Series of Timeseries.t
+      (** condition applies to the newest point (or, for rate/absence
+          conditions, the recent window) *)
+  | Sampled of (int -> float option)
+      (** called with [now_ns] at each evaluation; [None] means "no
+          data", which only the {!Absent} condition matches *)
+
+type condition =
+  | Above of float  (** value > threshold *)
+  | Below of float  (** value < threshold *)
+  | Rate_above of { per_second : float; window : int }
+      (** counter growth rate over [window] ns exceeds [per_second];
+          series inputs only *)
+  | Rate_below of { per_second : float; window : int }
+  | Absent of { window : int }
+      (** series: no point recorded in the last [window] ns;
+          sampled: the sample is [None] *)
+
+type state = Ok | Pending of { since_ns : int } | Firing of { since_ns : int }
+
+type transition = {
+  at_ns : int;
+  rule : string;
+  from_state : string;  (** ["ok"], ["pending"] or ["firing"] *)
+  to_state : string;
+  value : float option;  (** the observed value, when there was one *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_rule :
+  t -> name:string -> ?for_:int -> ?help:string -> input -> condition -> unit
+(** Register a rule.  [for_] (default 0) is how long, in nanoseconds,
+    the condition must hold before [Pending] becomes [Firing].
+    @raise Invalid_argument on a duplicate rule name or negative
+    [for_]. *)
+
+val eval : t -> now_ns:int -> unit
+(** Evaluate every rule at [now_ns], in registration order.
+    @raise Invalid_argument if [now_ns] precedes a prior evaluation. *)
+
+val rules : t -> string list
+(** Registration order. *)
+
+val state : t -> string -> state
+(** @raise Not_found for an unknown rule. *)
+
+val firing : t -> string list
+(** Rules currently firing, in registration order. *)
+
+val log : t -> transition list
+(** Every state transition so far, oldest first. *)
+
+val breaches : t -> string -> (int * int option) list
+(** The rule's firing windows as [(fired_at, resolved_at)] pairs,
+    oldest first; [None] = still firing at the latest evaluation. *)
+
+val evaluations : t -> int
+
+val pp_state : Format.formatter -> state -> unit
+val pp_transition : Format.formatter -> transition -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per rule: name, state, since-when. *)

@@ -163,11 +163,20 @@ let message_gen =
         (fun stats ->
           Of_message.Port_stats_reply
             (List.map
-               (fun (n, (rx, tx)) ->
-                 { Of_message.port_no = n; rx_packets = rx; tx_packets = tx })
+               (fun (n, ((rx, tx), (rxb, txb))) ->
+                 {
+                   Of_message.port_no = n;
+                   rx_packets = rx;
+                   tx_packets = tx;
+                   rx_bytes = rxb;
+                   tx_bytes = txb;
+                 })
                stats))
         (list_size (int_bound 4)
-           (pair (int_bound 48) (pair (int_bound 100000) (int_bound 100000))));
+           (pair (int_bound 48)
+              (pair
+                 (pair (int_bound 100000) (int_bound 100000))
+                 (pair (int_bound 100000000) (int_bound 100000000)))));
       map (fun n -> Of_message.Barrier_request n) (int_bound 1000);
       map (fun n -> Of_message.Barrier_reply n) (int_bound 1000);
       map (fun s -> Of_message.Error s) string_printable;

@@ -1,0 +1,273 @@
+(* The monitoring plane's storage and SLO layers: ring-buffer time
+   series (window queries across the wrap boundary are the tricky
+   part) and the alert rule state machine. *)
+
+open Telemetry
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 200) gen ~print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let foi = float_of_int
+
+let series ?(capacity = 8) points =
+  let s = Timeseries.create ~capacity ~name:"test" () in
+  List.iter (fun (ts, v) -> Timeseries.record s ~ts_ns:ts v) points;
+  s
+
+let fpair = Alcotest.(pair int (float 1e-9))
+let fopt = Alcotest.(option (float 1e-9))
+
+(* ---- ring-buffer mechanics ---- *)
+
+let ring_tests =
+  [
+    tc "create validates capacity" (fun () ->
+        Alcotest.check_raises "cap 1" (Invalid_argument "Timeseries.create: capacity < 2")
+          (fun () -> ignore (Timeseries.create ~capacity:1 ~name:"x" ())));
+    tc "record and read back in order" (fun () ->
+        let s = series [ (10, 1.); (20, 2.); (30, 3.) ] in
+        check Alcotest.int "len" 3 (Timeseries.length s);
+        check Alcotest.int "total" 3 (Timeseries.total_recorded s);
+        check (Alcotest.list fpair) "points"
+          [ (10, 1.); (20, 2.); (30, 3.) ]
+          (Timeseries.to_list s);
+        check (Alcotest.option fpair) "last" (Some (30, 3.)) (Timeseries.last s));
+    tc "equal timestamps are allowed, backwards are not" (fun () ->
+        let s = series [ (10, 1.) ] in
+        Timeseries.record s ~ts_ns:10 2.;
+        check Alcotest.int "len" 2 (Timeseries.length s);
+        Alcotest.check_raises "backwards"
+          (Invalid_argument "Timeseries.record: timestamp went backwards")
+          (fun () -> Timeseries.record s ~ts_ns:9 3.));
+    tc "wrap evicts oldest and keeps order" (fun () ->
+        let s = series ~capacity:4 [] in
+        for k = 1 to 7 do
+          Timeseries.record s ~ts_ns:(k * 10) (foi k)
+        done;
+        check Alcotest.int "len" 4 (Timeseries.length s);
+        check Alcotest.int "total" 7 (Timeseries.total_recorded s);
+        check (Alcotest.list fpair) "suffix survives"
+          [ (40, 4.); (50, 5.); (60, 6.); (70, 7.) ]
+          (Timeseries.to_list s));
+    tc "clear empties the ring but not the total" (fun () ->
+        let s = series ~capacity:4 [ (10, 1.); (20, 2.) ] in
+        Timeseries.clear s;
+        check Alcotest.int "len" 0 (Timeseries.length s);
+        check Alcotest.int "total" 2 (Timeseries.total_recorded s);
+        check (Alcotest.option fpair) "last" None (Timeseries.last s);
+        (* and the ring is reusable from scratch *)
+        Timeseries.record s ~ts_ns:5 9.;
+        check (Alcotest.list fpair) "fresh" [ (5, 9.) ] (Timeseries.to_list s));
+    prop "ring always holds the newest min(n, capacity) points"
+      ~print:QCheck2.Print.(pair int (list (pair int (float))))
+      QCheck2.Gen.(
+        pair (int_range 2 10)
+          (list_size (int_bound 40)
+             (pair (int_bound 1000) (float_bound_inclusive 100.))))
+      (fun (cap, raw) ->
+        (* sort timestamps so recording is legal *)
+        let pts =
+          List.sort (fun (a, _) (b, _) -> compare a b) raw
+        in
+        let s = series ~capacity:cap pts in
+        let expected =
+          let n = List.length pts in
+          let drop = max 0 (n - cap) in
+          List.filteri (fun i _ -> i >= drop) pts
+        in
+        Timeseries.length s = List.length expected
+        && List.for_all2
+             (fun (t1, v1) (t2, (v2 : float)) -> t1 = t2 && v1 = v2)
+             (Timeseries.to_list s) expected);
+  ]
+
+(* ---- window queries, including across the wrap ---- *)
+
+let window_tests =
+  [
+    tc "min/max/avg over a window" (fun () ->
+        let s = series [ (10, 5.); (20, 1.); (30, 3.) ] in
+        check fopt "min" (Some 1.) (Timeseries.min_over s ~now_ns:30 ~window:20);
+        check fopt "max" (Some 5.) (Timeseries.max_over s ~now_ns:30 ~window:20);
+        check fopt "avg" (Some 3.) (Timeseries.avg_over s ~now_ns:30 ~window:20);
+        (* narrow window excludes the early points *)
+        check fopt "min narrow" (Some 3.)
+          (Timeseries.min_over s ~now_ns:30 ~window:5);
+        (* empty window *)
+        check fopt "empty" None (Timeseries.min_over s ~now_ns:9 ~window:5));
+    tc "window queries span the wrap boundary" (fun () ->
+        let s = series ~capacity:4 [] in
+        (* 6 points; ring holds ts 30..60, physically wrapped *)
+        for k = 1 to 6 do
+          Timeseries.record s ~ts_ns:(k * 10) (foi (10 * k))
+        done;
+        check fopt "min all held" (Some 30.)
+          (Timeseries.min_over s ~now_ns:60 ~window:1000);
+        check fopt "max all held" (Some 60.)
+          (Timeseries.max_over s ~now_ns:60 ~window:1000);
+        check fopt "avg all held" (Some 45.)
+          (Timeseries.avg_over s ~now_ns:60 ~window:1000);
+        (* window ending mid-ring: points at 30,40 only *)
+        check fopt "avg prefix" (Some 35.)
+          (Timeseries.avg_over s ~now_ns:40 ~window:15));
+    tc "rate over a counter, including across the wrap" (fun () ->
+        let s = series ~capacity:4 [] in
+        (* bytes counter: +100 per 10 ns => 1e10 bytes/s *)
+        for k = 1 to 6 do
+          Timeseries.record s ~ts_ns:(k * 10) (foi (100 * k))
+        done;
+        check fopt "rate" (Some 1e10)
+          (Timeseries.rate_over s ~now_ns:60 ~window:30);
+        check fopt "rate full ring" (Some 1e10)
+          (Timeseries.rate_over s ~now_ns:60 ~window:10_000));
+    tc "rate needs two points with distinct timestamps" (fun () ->
+        let one = series [ (10, 5.) ] in
+        check fopt "single" None (Timeseries.rate_over one ~now_ns:10 ~window:100);
+        let flat = series [ (10, 5.); (10, 9.) ] in
+        check fopt "same ts" None
+          (Timeseries.rate_over flat ~now_ns:10 ~window:100));
+    tc "rate is negative across a counter reset" (fun () ->
+        let s = series [ (0, 1000.); (1_000_000_000, 0.) ] in
+        check fopt "negative" (Some (-1000.))
+          (Timeseries.rate_over s ~now_ns:1_000_000_000 ~window:2_000_000_000));
+    tc "newest_age reports staleness" (fun () ->
+        let s = series [ (10, 1.) ] in
+        check (Alcotest.option Alcotest.int) "age" (Some 90)
+          (Timeseries.newest_age s ~now_ns:100);
+        check (Alcotest.option Alcotest.int) "empty" None
+          (Timeseries.newest_age (series []) ~now_ns:100));
+    prop "avg_over a full-coverage window equals the mean of held points"
+      ~print:QCheck2.Print.(list (pair int float))
+      QCheck2.Gen.(
+        list_size (int_bound 30) (pair (int_bound 500) (float_bound_inclusive 50.)))
+      (fun raw ->
+        let pts = List.sort (fun (a, _) (b, _) -> compare a b) raw in
+        let s = series ~capacity:8 pts in
+        let held = Timeseries.to_list s in
+        match Timeseries.avg_over s ~now_ns:501 ~window:502 with
+        | None -> held = []
+        | Some avg ->
+            let n = List.length held in
+            let sum = List.fold_left (fun acc (_, v) -> acc +. v) 0. held in
+            Float.abs (avg -. (sum /. foi n)) < 1e-6);
+  ]
+
+(* ---- alert rules ---- *)
+
+let eval_at a ns = Alert.eval a ~now_ns:ns
+
+let state_kind = function
+  | Alert.Ok -> "ok"
+  | Alert.Pending _ -> "pending"
+  | Alert.Firing _ -> "firing"
+
+let alert_tests =
+  [
+    tc "threshold with for_: ok -> pending -> firing -> ok" (fun () ->
+        let s = series [] in
+        let a = Alert.create () in
+        Alert.add_rule a ~name:"hot" ~for_:20 (Alert.Series s) (Alert.Above 10.);
+        eval_at a 0;
+        check Alcotest.string "no data" "ok" (state_kind (Alert.state a "hot"));
+        Timeseries.record s ~ts_ns:5 50.;
+        eval_at a 10;
+        check Alcotest.string "pending" "pending" (state_kind (Alert.state a "hot"));
+        eval_at a 25;
+        check Alcotest.string "still pending" "pending"
+          (state_kind (Alert.state a "hot"));
+        eval_at a 30;
+        check Alcotest.string "fires after for_" "firing"
+          (state_kind (Alert.state a "hot"));
+        check (Alcotest.list Alcotest.string) "firing list" [ "hot" ]
+          (Alert.firing a);
+        Timeseries.record s ~ts_ns:35 1.;
+        eval_at a 40;
+        check Alcotest.string "resolves" "ok" (state_kind (Alert.state a "hot"));
+        (* the full trajectory is in the log *)
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "log"
+          [ ("ok", "pending"); ("pending", "firing"); ("firing", "ok") ]
+          (List.map
+             (fun (tr : Alert.transition) -> (tr.Alert.from_state, tr.Alert.to_state))
+             (Alert.log a)));
+    tc "pending that stops holding never fires" (fun () ->
+        let s = series [ (0, 50.) ] in
+        let a = Alert.create () in
+        Alert.add_rule a ~name:"hot" ~for_:100 (Alert.Series s) (Alert.Above 10.);
+        eval_at a 10;
+        Timeseries.record s ~ts_ns:20 1.;
+        eval_at a 30;
+        check Alcotest.string "back to ok" "ok" (state_kind (Alert.state a "hot"));
+        eval_at a 500;
+        check (Alcotest.list Alcotest.string) "never fired" [] (Alert.firing a));
+    tc "rate rule on a counter series" (fun () ->
+        let s = series [] in
+        let a = Alert.create () in
+        Alert.add_rule a ~name:"surge" (Alert.Series s)
+          (Alert.Rate_above { per_second = 100.; window = 1_000_000_000 });
+        Timeseries.record s ~ts_ns:0 0.;
+        Timeseries.record s ~ts_ns:500_000_000 500.;
+        eval_at a 500_000_000;
+        check Alcotest.string "firing" "firing" (state_kind (Alert.state a "surge")));
+    tc "absence rule: series silence and sampled None" (fun () ->
+        let s = series [ (0, 1.) ] in
+        let a = Alert.create () in
+        Alert.add_rule a ~name:"stale" (Alert.Series s)
+          (Alert.Absent { window = 100 });
+        Alert.add_rule a ~name:"gone" (Alert.Sampled (fun _ -> None))
+          (Alert.Absent { window = 1 });
+        eval_at a 50;
+        check Alcotest.string "fresh" "ok" (state_kind (Alert.state a "stale"));
+        check Alcotest.string "sampled none fires" "firing"
+          (state_kind (Alert.state a "gone"));
+        eval_at a 200;
+        check Alcotest.string "silence fires" "firing"
+          (state_kind (Alert.state a "stale")));
+    tc "breaches pairs firing windows" (fun () ->
+        let v = ref 0. in
+        let a = Alert.create () in
+        Alert.add_rule a ~name:"r" (Alert.Sampled (fun _ -> Some !v))
+          (Alert.Above 1.);
+        eval_at a 0;
+        v := 5.;
+        eval_at a 10;
+        v := 0.;
+        eval_at a 20;
+        v := 5.;
+        eval_at a 30;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.option Alcotest.int)))
+          "two windows, second still open"
+          [ (10, Some 20); (30, None) ]
+          (Alert.breaches a "r"));
+    tc "add_rule validates" (fun () ->
+        let a = Alert.create () in
+        Alert.add_rule a ~name:"x" (Alert.Sampled (fun _ -> Some 0.))
+          (Alert.Above 1.);
+        Alcotest.check_raises "duplicate"
+          (Invalid_argument "Alert.add_rule: duplicate rule \"x\"") (fun () ->
+            Alert.add_rule a ~name:"x" (Alert.Sampled (fun _ -> Some 0.))
+              (Alert.Above 1.));
+        Alcotest.check_raises "sampled rate"
+          (Invalid_argument "Alert.add_rule: rate conditions need a Series input")
+          (fun () ->
+            Alert.add_rule a ~name:"y" (Alert.Sampled (fun _ -> Some 0.))
+              (Alert.Rate_above { per_second = 1.; window = 1 })));
+    tc "eval rejects a backwards clock" (fun () ->
+        let a = Alert.create () in
+        eval_at a 100;
+        Alcotest.check_raises "backwards"
+          (Invalid_argument "Alert.eval: clock went backwards") (fun () ->
+            eval_at a 99));
+  ]
+
+let suite =
+  [
+    ("timeseries_ring", ring_tests);
+    ("timeseries_windows", window_tests);
+    ("alert", alert_tests);
+  ]
