@@ -358,6 +358,30 @@ let trace_tests =
 
 (* ---- harness ---- *)
 
+(* ---- fuzz/* : conformance-checking throughput ----
+
+   How fast the differential fuzzer grinds scenarios (generate, run
+   through the oracle plus every backend, compare) and how fast the
+   codec fuzzer pushes frames through the totality/fixpoint contract.
+   CI multiplies these into a fuzz-cases/sec budget. *)
+
+let fuzz_tests =
+  let seed = ref 0 in
+  let rng = Simnet.Rng.create 42 in
+  Test.make_grouped ~name:"fuzz"
+    [
+      Test.make ~name:"differential-case"
+        (Staged.stage (fun () ->
+             incr seed;
+             ignore (Check.Differential.check_case ~seed:!seed)));
+      Test.make ~name:"codec-case"
+        (Staged.stage (fun () ->
+             let frame =
+               Openflow.Of_codec.encode (Check.Codec_fuzz.gen_valid_message rng)
+             in
+             ignore (Check.Codec_fuzz.check_frame frame)));
+    ]
+
 let all_tests =
   [
     lookup_tests;
@@ -372,6 +396,7 @@ let all_tests =
     meter_tests;
     ablation_tests;
     trace_tests;
+    fuzz_tests;
   ]
 
 type row = { row_name : string; ns_per_run : float; r_square : float; runs : int }

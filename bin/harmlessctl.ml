@@ -488,6 +488,109 @@ let alerts_cmd =
        ~doc:"evaluate the demo SLO rules and print states and transitions")
     Term.(const run_alerts $ alerts_eval_once_arg $ top_duration_arg)
 
+(* ---- fuzz ---- *)
+
+let run_fuzz cases seed repro_dir replay =
+  let failed = ref false in
+  (match replay with
+  | Some path -> (
+      (* replay a pinned repro instead of random generation *)
+      match Check.Differential.load ~path with
+      | Error e ->
+          Printf.printf "%s: parse error: %s\n" path e;
+          failed := true
+      | Ok None -> Printf.printf "%s: no divergence (bug is fixed)\n" path
+      | Ok (Some d) ->
+          Format.printf "%s reproduces:@.%a@." path
+            Check.Differential.pp_divergence d;
+          failed := true)
+  | None ->
+      (* differential: every backend against the oracle *)
+      let saved = ref 0 in
+      let on_divergence (d : Check.Differential.divergence) =
+        Format.printf "@.%a@." Check.Differential.pp_divergence d;
+        (try Unix.mkdir repro_dir 0o755 with Unix.Unix_error _ -> ());
+        let path =
+          Filename.concat repro_dir (Printf.sprintf "divergence_%d.repro" !saved)
+        in
+        incr saved;
+        Check.Differential.save ~path
+          ~comment:
+            (Printf.sprintf "backend %s diverged at step %d" d.backend
+               d.step_index)
+          d.scenario;
+        Printf.printf "repro written to %s\n" path
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Check.Differential.run ~on_divergence ~seed ~cases () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "differential: %d cases, %d packet comparisons, %d divergences \
+         (%.0f cases/s)\n"
+        r.Check.Differential.cases r.packets
+        (List.length r.divergences)
+        (float_of_int r.Check.Differential.cases /. Float.max 1e-9 dt);
+      if r.Check.Differential.divergences <> [] then failed := true;
+      (* codec: parse totality + re-encode fixpoint *)
+      let t0 = Unix.gettimeofday () in
+      let c = Check.Codec_fuzz.run ~seed ~cases:(4 * cases) in
+      let dt = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun f -> Format.printf "%a@." Check.Codec_fuzz.pp_failure f)
+        c.Check.Codec_fuzz.failures;
+      Printf.printf
+        "codec: %d cases, %d decoded, %d rejected, %d failures (%.0f cases/s)\n"
+        c.Check.Codec_fuzz.cases c.decoded c.rejected
+        (List.length c.failures)
+        (float_of_int c.Check.Codec_fuzz.cases /. Float.max 1e-9 dt);
+      if c.Check.Codec_fuzz.failures <> [] then failed := true;
+      (* transparency: hairpin invariant over random port maps *)
+      let violations = ref 0 in
+      let hairpin_seeds = max 1 (cases / 100) in
+      for s = seed to seed + hairpin_seeds - 1 do
+        let vs = Check.Transparency_oracle.check_hairpin ~seed:s in
+        violations := !violations + List.length vs;
+        List.iter
+          (fun v ->
+            Format.printf "seed %d: %a@." s
+              Check.Transparency_oracle.pp_violation v)
+          vs
+      done;
+      Printf.printf "transparency: %d port maps, %d violations\n"
+        hairpin_seeds !violations;
+      if !violations > 0 then failed := true);
+  if !failed then exit 1
+
+let fuzz_cases_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "cases" ] ~docv:"N" ~doc:"Differential scenarios to run (the codec fuzzer runs 4x as many).")
+
+let fuzz_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base RNG seed.")
+
+let fuzz_dir_arg =
+  Arg.(
+    value & opt string "fuzz-repros"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Where to write shrunk divergence repros.")
+
+let fuzz_replay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay a pinned repro file instead of fuzzing; exits nonzero if it still diverges.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "differentially fuzz every dataplane backend against the spec \
+          oracle, fuzz the OpenFlow codec, and check the SS_1 hairpin \
+          invariant; exits nonzero on any divergence")
+    Term.(
+      const run_fuzz $ fuzz_cases_arg $ fuzz_seed_arg $ fuzz_dir_arg
+      $ fuzz_replay_arg)
+
 (* ---- walkthrough ---- *)
 
 let run_walkthrough () =
@@ -504,7 +607,7 @@ let main =
        ~doc:"operate the HARMLESS hybrid-SDN reproduction")
     [
       cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
-      trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd;
+      trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

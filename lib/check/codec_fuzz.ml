@@ -1,0 +1,198 @@
+module Codec = Openflow.Of_codec
+module Msg = Openflow.Of_message
+module Rng = Simnet.Rng
+
+type failure = { frame : string; problem : string }
+
+type report = {
+  cases : int;
+  decoded : int;
+  rejected : int;
+  failures : failure list;
+}
+
+let check_frame frame =
+  match Codec.decode_result frame with
+  | exception e ->
+      Error { frame; problem = "decode raised " ^ Printexc.to_string e }
+  | Error _ -> Ok ()
+  | Ok (m1, _xid) -> (
+      match Codec.encode m1 with
+      | exception e ->
+          Error
+            { frame; problem = "re-encode raised " ^ Printexc.to_string e }
+      | bytes -> (
+          match Codec.decode_result bytes with
+          | exception e ->
+              Error
+                {
+                  frame;
+                  problem =
+                    "decode of re-encoded frame raised " ^ Printexc.to_string e;
+                }
+          | Error e ->
+              Error { frame; problem = "re-encoded frame rejected: " ^ e }
+          | Ok (m2, _) ->
+              if m2 = m1 then Ok ()
+              else
+                Error
+                  {
+                    frame;
+                    problem =
+                      Format.asprintf
+                        "re-encode fixpoint broken: %a became %a" Msg.pp m1
+                        Msg.pp m2;
+                  }))
+
+(* ---- valid-message generation (mutation seeds) ---- *)
+
+let random_bytes rng n = String.init n (fun _ -> Char.chr (Rng.int rng 256))
+
+let gen_valid_message rng =
+  let dp = Differential.gen_packet in
+  match Rng.int rng 17 with
+  | 0 -> Msg.Hello
+  | 1 -> Msg.Echo_request (random_bytes rng (Rng.int rng 16))
+  | 2 -> Msg.Echo_reply (random_bytes rng (Rng.int rng 16))
+  | 3 -> Msg.Features_request
+  | 4 ->
+      Msg.Features_reply
+        {
+          datapath_id = Rng.bits64 rng;
+          num_ports = Rng.int rng 64;
+          num_tables = 1 + Rng.int rng 16;
+        }
+  | 5 | 6 | 7 ->
+      Msg.Flow_mod
+        (Differential.gen_flow_mod rng ~tables:4 ~ports:8
+           ~force_add:(Rng.bool rng))
+  | 8 -> Msg.Group_mod (Differential.gen_group_mod rng ~ports:8)
+  | 9 -> Msg.Meter_mod (Differential.gen_meter_mod rng)
+  | 10 -> Msg.Port_status { port_no = Rng.int rng 64; up = Rng.bool rng }
+  | 11 ->
+      Msg.Packet_in
+        {
+          in_port = Rng.int rng 64;
+          reason =
+            (if Rng.bool rng then Msg.No_match else Msg.Action_to_controller);
+          packet = dp rng;
+        }
+  | 12 ->
+      Msg.Packet_out
+        {
+          in_port = (if Rng.bool rng then Some (Rng.int rng 64) else None);
+          actions = Differential.gen_actions rng ~ports:8;
+          packet = dp rng;
+        }
+  | 13 ->
+      Msg.Flow_stats_request
+        { table_id = (if Rng.bool rng then Some (Rng.int rng 4) else None) }
+  | 14 ->
+      Msg.Flow_stats_reply
+        (List.init (Rng.int rng 3) (fun _ ->
+             {
+               Msg.stat_table_id = Rng.int rng 4;
+               stat_priority = Rng.int rng 0x10000;
+               stat_match = Differential.gen_match rng ~ports:8;
+               stat_packets = Rng.int rng 1_000_000;
+               stat_bytes = Rng.int rng 1_000_000_000;
+             }))
+  | 15 ->
+      Msg.Port_stats_reply
+        (List.init (Rng.int rng 3) (fun _ ->
+             {
+               Msg.port_no = Rng.int rng 64;
+               rx_packets = Rng.int rng 1_000_000;
+               tx_packets = Rng.int rng 1_000_000;
+               rx_bytes = Rng.int rng 1_000_000_000;
+               tx_bytes = Rng.int rng 1_000_000_000;
+             }))
+  | _ ->
+      if Rng.bool rng then Msg.Barrier_request (Rng.int rng 1000)
+      else Msg.Barrier_reply (Rng.int rng 1000)
+
+(* ---- mutators ---- *)
+
+let flip_bits rng s =
+  let b = Bytes.of_string s in
+  let flips = 1 + Rng.int rng 8 in
+  for _ = 1 to flips do
+    if Bytes.length b > 0 then begin
+      let i = Rng.int rng (Bytes.length b) in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)))
+    end
+  done;
+  Bytes.to_string b
+
+let truncate rng s =
+  if String.length s = 0 then s else String.sub s 0 (Rng.int rng (String.length s))
+
+let set_u16 s off v =
+  if String.length s < off + 2 then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b (off + 1) (Char.chr (v land 0xff));
+    Bytes.to_string b
+  end
+
+let gen_case rng =
+  let valid () = Codec.encode ~xid:(Int32.of_int (Rng.int rng 1000)) (gen_valid_message rng) in
+  match Rng.int rng 8 with
+  | 0 -> random_bytes rng (Rng.int rng 64)
+  | 1 -> valid ()
+  | 2 -> flip_bits rng (valid ())
+  | 3 -> truncate rng (valid ())
+  | 4 ->
+      (* Tamper with the header length field. *)
+      set_u16 (valid ()) 2 (Rng.int rng 0x10000)
+  | 5 ->
+      (* Tamper with an interior (action/bucket/match/oxm) length. *)
+      let s = valid () in
+      if String.length s < 10 then s
+      else set_u16 s (8 + Rng.int rng (String.length s - 9)) (Rng.int rng 0x10000)
+  | 6 ->
+      (* Valid frame with trailing garbage (header length disagrees). *)
+      valid () ^ random_bytes rng (1 + Rng.int rng 16)
+  | _ ->
+      (* Plausible header, random body. *)
+      let body = random_bytes rng (Rng.int rng 48) in
+      let len = 8 + String.length body in
+      let hdr =
+        String.init 8 (fun i ->
+            match i with
+            | 0 -> '\x04'
+            | 1 -> Char.chr (Rng.int rng 32)
+            | 2 -> Char.chr ((len lsr 8) land 0xff)
+            | 3 -> Char.chr (len land 0xff)
+            | _ -> Char.chr (Rng.int rng 256))
+      in
+      hdr ^ body
+
+let run_frames frames =
+  let decoded = ref 0 and rejected = ref 0 and failures = ref [] in
+  List.iter
+    (fun frame ->
+      match check_frame frame with
+      | Ok () ->
+          if Result.is_ok (Codec.decode_result frame) then incr decoded
+          else incr rejected
+      | Error f -> if List.length !failures < 10 then failures := f :: !failures)
+    frames;
+  {
+    cases = List.length frames;
+    decoded = !decoded;
+    rejected = !rejected;
+    failures = List.rev !failures;
+  }
+
+let run ~seed ~cases =
+  let rng = Rng.create seed in
+  run_frames (List.init cases (fun _ -> gen_case rng))
+
+let run_corpus frames = run_frames frames
+
+let pp_failure fmt f =
+  Format.fprintf fmt "@[<v>codec fuzz failure: %s@,frame hex: %s@]" f.problem
+    (Hex.encode f.frame)

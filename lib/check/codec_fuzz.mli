@@ -1,0 +1,41 @@
+(** Fuzzing {!Openflow.Of_codec} for parse-totality and encode/decode
+    stability.
+
+    Every input byte string — random garbage, bit-flipped or truncated
+    valid frames, frames with tampered length fields — must either
+    decode or produce [Error]: any escaped exception is a codec bug.
+    Inputs that do decode are additionally held to a re-encode fixpoint:
+    with [m2 = decode (encode m)] and [m3 = decode (encode m2)],
+    [m3 = m2] must hold.  (The first re-encode is allowed to normalize a
+    non-canonical frame; after that the codec must be stable.) *)
+
+type failure = {
+  frame : string;      (** offending input, raw bytes *)
+  problem : string;    (** what went wrong, e.g. the escaped exception *)
+}
+
+val check_frame : string -> (unit, failure) result
+(** Apply the totality + fixpoint contract to one input. *)
+
+type report = {
+  cases : int;
+  decoded : int;        (** inputs that parsed successfully *)
+  rejected : int;       (** inputs cleanly rejected with [Error] *)
+  failures : failure list;  (** contract violations, at most 10 kept *)
+}
+
+val run : seed:int -> cases:int -> report
+(** Seeded mutation fuzzing: each case is a fresh random frame, a
+    mutated/truncated encoding of a random valid message, or a valid
+    frame with a corrupted header or inner length field. *)
+
+val run_corpus : string list -> report
+(** Replay pre-built inputs (the seed corpus) through {!check_frame} —
+    run before random generation so known-tricky frames are always
+    covered. *)
+
+val gen_valid_message : Simnet.Rng.t -> Openflow.Of_message.t
+(** A random well-formed message over every message type the codec
+    supports — also used to seed mutation. *)
+
+val pp_failure : Format.formatter -> failure -> unit

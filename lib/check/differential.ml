@@ -1,0 +1,560 @@
+open Netpkt
+module P = Openflow.Pipeline
+module FE = Openflow.Flow_entry
+module FT = Openflow.Flow_table
+module A = Openflow.Of_action
+module M = Openflow.Of_match
+module Msg_ = Openflow.Of_message
+module Rng = Simnet.Rng
+
+type step =
+  | Msg of { now_ns : int; msg : Msg_.t }
+  | Expire of { now_ns : int }
+  | Packet of { now_ns : int; in_port : int; pkt : Packet.t }
+
+type scenario = { tables : int; ports : int; steps : step list }
+
+type divergence = {
+  backend : string;
+  step_index : int;
+  expected : string;
+  actual : string;
+  scenario : scenario;
+}
+
+(* ---- result normalization ---- *)
+
+let render_packet pkt = Hex.encode (Packet.encode pkt)
+
+let render_output = function
+  | P.Port (p, pkt) -> Printf.sprintf "port:%d:%s" p (render_packet pkt)
+  | P.In_port pkt -> "inport:" ^ render_packet pkt
+  | P.Flood pkt -> "flood:" ^ render_packet pkt
+  | P.All_ports pkt -> "all:" ^ render_packet pkt
+  | P.Controller (n, pkt) -> Printf.sprintf "ctrl:%d:%s" n (render_packet pkt)
+
+let render_instruction = function
+  | FE.Apply_actions actions ->
+      Format.asprintf "apply[%a]" A.pp_list actions
+  | FE.Write_actions actions ->
+      Format.asprintf "write[%a]" A.pp_list actions
+  | FE.Clear_actions -> "clear"
+  | FE.Goto_table n -> Printf.sprintf "goto:%d" n
+  | FE.Meter id -> Printf.sprintf "meter:%d" id
+
+let render_entry (e : FE.t) =
+  (* Counters deliberately excluded: they are per-pipeline state, not
+     forwarding behaviour. *)
+  Format.asprintf "p%d{%a}%s" e.FE.priority M.pp e.FE.match_
+    (String.concat ";" (List.map render_instruction e.FE.instructions))
+
+let render_result (r : P.result) =
+  Printf.sprintf "outputs=[%s] miss=%b matched=[%s]"
+    (String.concat " " (List.map render_output r.P.outputs))
+    r.P.table_miss
+    (String.concat " " (List.map render_entry r.P.matched))
+
+(* ---- replaying control-plane messages, soft-switch style ---- *)
+
+let apply_msg pipeline ~now_ns (msg : Msg_.t) =
+  match msg with
+  | Msg_.Flow_mod fm ->
+      if fm.Msg_.table_id < 0 || fm.Msg_.table_id >= P.num_tables pipeline
+      then ()
+      else begin
+        let table = P.table pipeline fm.Msg_.table_id in
+        match fm.Msg_.command with
+        | Msg_.Add -> (
+            let entry =
+              FE.make ~priority:fm.Msg_.priority ~cookie:fm.Msg_.cookie
+                ?idle_timeout_s:fm.Msg_.idle_timeout_s
+                ?hard_timeout_s:fm.Msg_.hard_timeout_s
+                ~match_:fm.Msg_.match_ fm.Msg_.instructions
+            in
+            try FT.add table ~now_ns entry with FT.Table_full -> ())
+        | Msg_.Modify { strict } ->
+            ignore
+              (FT.modify table ~strict fm.Msg_.match_
+                 ~priority:fm.Msg_.priority fm.Msg_.instructions)
+        | Msg_.Delete { strict } ->
+            ignore
+              (FT.delete table ~strict ?out_port:fm.Msg_.out_port
+                 fm.Msg_.match_ ~priority:fm.Msg_.priority)
+      end
+  | Msg_.Group_mod gm -> (
+      let groups = P.groups pipeline in
+      match gm with
+      | Msg_.Add_group { id; gtype; buckets } -> (
+          try Openflow.Group_table.add groups ~id gtype buckets
+          with Invalid_argument _ -> ())
+      | Msg_.Modify_group { id; gtype; buckets } -> (
+          try Openflow.Group_table.modify groups ~id gtype buckets
+          with Not_found | Invalid_argument _ -> ())
+      | Msg_.Delete_group { id } -> Openflow.Group_table.remove groups ~id)
+  | Msg_.Meter_mod mm -> (
+      let meters = P.meters pipeline in
+      match mm with
+      | Msg_.Add_meter { id; band } -> (
+          try Openflow.Meter_table.add meters ~id band
+          with Invalid_argument _ -> ())
+      | Msg_.Modify_meter { id; band } -> (
+          try Openflow.Meter_table.modify meters ~id band
+          with Not_found -> ())
+      | Msg_.Delete_meter { id } -> Openflow.Meter_table.remove meters ~id)
+  | _ -> ()
+
+let expire_all pipeline ~now_ns =
+  for i = 0 to P.num_tables pipeline - 1 do
+    ignore (FT.expire (P.table pipeline i) ~now_ns)
+  done
+
+(* ---- running a scenario across every implementation ---- *)
+
+type runner = {
+  rname : string;
+  pipeline : P.t;
+  process : now_ns:int -> in_port:int -> Packet.t -> P.result;
+}
+
+let make_runners sc =
+  let oracle =
+    let pipeline = P.create ~num_tables:sc.tables () in
+    { rname = "oracle"; pipeline; process = Oracle.execute pipeline }
+  in
+  let backends =
+    List.map
+      (fun (name, create) ->
+        let pipeline = P.create ~num_tables:sc.tables () in
+        let dp = create pipeline in
+        {
+          rname = name;
+          pipeline;
+          process =
+            (fun ~now_ns ~in_port pkt ->
+              fst (dp.Softswitch.Dataplane.process ~now_ns ~in_port pkt));
+        })
+      Softswitch.Backends.all
+  in
+  (oracle, backends)
+
+let run_scenario sc =
+  let oracle, backends = make_runners sc in
+  let all = oracle :: backends in
+  let divergence = ref None in
+  List.iteri
+    (fun i step ->
+      if !divergence = None then
+        match step with
+        | Msg { now_ns; msg } ->
+            List.iter (fun r -> apply_msg r.pipeline ~now_ns msg) all
+        | Expire { now_ns } ->
+            List.iter (fun r -> expire_all r.pipeline ~now_ns) all
+        | Packet { now_ns; in_port; pkt } ->
+            let expected =
+              render_result (oracle.process ~now_ns ~in_port pkt)
+            in
+            List.iter
+              (fun r ->
+                if !divergence = None then
+                  let actual =
+                    render_result (r.process ~now_ns ~in_port pkt)
+                  in
+                  if actual <> expected then
+                    divergence :=
+                      Some
+                        {
+                          backend = r.rname;
+                          step_index = i;
+                          expected;
+                          actual;
+                          scenario = sc;
+                        })
+              backends)
+    sc.steps;
+  !divergence
+
+(* ---- generation ---- *)
+
+let mac_pool =
+  lazy
+    (Array.map Mac_addr.of_string
+       [|
+         "02:00:00:00:00:01";
+         "02:00:00:00:00:02";
+         "02:00:00:00:00:03";
+         "0e:ab:cd:00:00:04";
+       |])
+
+let ip_pool =
+  lazy
+    (Array.map Ipv4_addr.of_string
+       [| "10.0.0.1"; "10.0.0.2"; "10.1.2.3"; "192.168.1.9" |])
+
+let vid_pool = [| 101; 102 |]
+let l4_pool = [| 53; 80; 1234; 4321 |]
+let prefix_lens = [| 8; 16; 24; 32 |]
+
+let pick rng a = a.(Rng.int rng (Array.length a))
+let mac rng = pick rng (Lazy.force mac_pool)
+let ip rng = pick rng (Lazy.force ip_pool)
+
+let gen_match rng ~ports =
+  let maybe p f m = if Rng.int rng p = 0 then f m else m in
+  M.any
+  |> maybe 4 (M.in_port (Rng.int rng ports))
+  |> maybe 4 (fun m ->
+         if Rng.bool rng then M.eth_dst (mac rng) m
+         else
+           M.eth_dst
+             ~mask:(Mac_addr.of_string "ff:ff:ff:00:00:00")
+             (mac rng) m)
+  |> maybe 6 (M.eth_src (mac rng))
+  |> maybe 5 (M.eth_type (if Rng.bool rng then 0x0800 else 0x0806))
+  |> maybe 4 (fun m ->
+         match Rng.int rng 3 with
+         | 0 -> M.vlan_absent m
+         | 1 -> M.vlan_present m
+         | _ -> M.vid (pick rng vid_pool) m)
+  |> maybe 5 (fun m ->
+         M.ip_src (Ipv4_addr.Prefix.make (ip rng) (pick rng prefix_lens)) m)
+  |> maybe 5 (fun m ->
+         M.ip_dst (Ipv4_addr.Prefix.make (ip rng) (pick rng prefix_lens)) m)
+  |> maybe 6 (M.ip_proto (match Rng.int rng 3 with 0 -> 1 | 1 -> 6 | _ -> 17))
+  |> maybe 8 (M.ip_tos ((Rng.int rng 4) lsl 2))
+  |> maybe 6 (M.l4_src (pick rng l4_pool))
+  |> maybe 6 (M.l4_dst (pick rng l4_pool))
+
+let gen_action rng ~ports =
+  match Rng.int rng 14 with
+  | 0 | 1 | 2 -> A.Output (A.Physical (Rng.int rng ports))
+  | 3 -> A.Output A.In_port
+  | 4 -> A.Output A.Flood
+  | 5 -> A.Output (A.Controller 0)
+  | 6 -> A.Group (1 + Rng.int rng 2)
+  | 7 -> A.Push_vlan
+  | 8 -> A.Pop_vlan
+  | 9 -> A.Set_vlan_vid (pick rng vid_pool)
+  | 10 -> A.Set_eth_dst (mac rng)
+  | 11 -> A.Set_ip_src (ip rng)
+  | 12 -> A.Set_l4_dst (pick rng l4_pool)
+  | _ -> A.Output A.All
+
+let gen_actions rng ~ports =
+  List.init (1 + Rng.int rng 3) (fun _ -> gen_action rng ~ports)
+
+let gen_instructions rng ~table_id ~tables ~ports =
+  let instrs = ref [] in
+  if Rng.int rng 6 = 0 then instrs := [ FE.Meter (1 + Rng.int rng 2) ];
+  if Rng.int rng 3 > 0 then
+    instrs := !instrs @ [ FE.Apply_actions (gen_actions rng ~ports) ];
+  if Rng.int rng 3 = 0 then
+    instrs := !instrs @ [ FE.Write_actions (gen_actions rng ~ports) ];
+  if Rng.int rng 10 = 0 then instrs := !instrs @ [ FE.Clear_actions ];
+  if table_id < tables - 1 && Rng.int rng 3 = 0 then
+    instrs :=
+      !instrs @ [ FE.Goto_table (table_id + 1 + Rng.int rng (tables - table_id - 1)) ];
+  !instrs
+
+let gen_flow_mod rng ~tables ~ports ~force_add =
+  let table_id = if Rng.int rng 3 = 0 then Rng.int rng tables else 0 in
+  let command =
+    if force_add then Msg_.Add
+    else
+      match Rng.int rng 10 with
+      | 0 -> Msg_.Modify { strict = Rng.bool rng }
+      | 1 | 2 -> Msg_.Delete { strict = Rng.bool rng }
+      | _ -> Msg_.Add
+  in
+  let out_port =
+    match command with
+    | Msg_.Delete _ when Rng.int rng 4 = 0 -> Some (Rng.int rng ports)
+    | _ -> None
+  in
+  let timeout () = if Rng.int rng 4 = 0 then Some (1 + Rng.int rng 3) else None in
+  {
+    Msg_.table_id;
+    command;
+    priority = Rng.int rng 4;
+    match_ = gen_match rng ~ports;
+    instructions = gen_instructions rng ~table_id ~tables ~ports;
+    cookie = 0L;
+    idle_timeout_s = timeout ();
+    hard_timeout_s = timeout ();
+    out_port;
+  }
+
+let gen_bucket rng ~ports =
+  {
+    Openflow.Group_table.weight = 1 + Rng.int rng 3;
+    actions = gen_actions rng ~ports;
+  }
+
+let gen_group_mod rng ~ports =
+  let id = 1 + Rng.int rng 2 in
+  match Rng.int rng 4 with
+  | 0 -> Msg_.Delete_group { id }
+  | 1 ->
+      Msg_.Modify_group
+        {
+          id;
+          gtype = Openflow.Group_table.All;
+          buckets = List.init (1 + Rng.int rng 2) (fun _ -> gen_bucket rng ~ports);
+        }
+  | _ ->
+      let gtype, buckets =
+        match Rng.int rng 3 with
+        | 0 -> (Openflow.Group_table.Indirect, [ gen_bucket rng ~ports ])
+        | 1 ->
+            ( Openflow.Group_table.Select,
+              List.init (1 + Rng.int rng 3) (fun _ -> gen_bucket rng ~ports) )
+        | _ ->
+            ( Openflow.Group_table.All,
+              List.init (1 + Rng.int rng 2) (fun _ -> gen_bucket rng ~ports) )
+      in
+      Msg_.Add_group { id; gtype; buckets }
+
+let gen_meter_mod rng =
+  let id = 1 + Rng.int rng 2 in
+  let band () =
+    {
+      Openflow.Meter_table.rate_kbps = 8 * (1 + Rng.int rng 100);
+      burst_kb = 1 + Rng.int rng 16;
+    }
+  in
+  match Rng.int rng 4 with
+  | 0 -> Msg_.Delete_meter { id }
+  | 1 -> Msg_.Modify_meter { id; band = band () }
+  | _ -> Msg_.Add_meter { id; band = band () }
+
+let gen_packet rng =
+  let vlans =
+    match Rng.int rng 4 with
+    | 0 -> [ Vlan.make (pick rng vid_pool) ]
+    | 1 when Rng.int rng 4 = 0 ->
+        [ Vlan.make (pick rng vid_pool); Vlan.make (pick rng vid_pool) ]
+    | _ -> []
+  in
+  let dst = mac rng and src = mac rng in
+  match Rng.int rng 8 with
+  | 0 ->
+      Packet.arp_request ~src_mac:src ~src_ip:(ip rng) ~target_ip:(ip rng)
+  | 1 -> Packet.icmp_echo ~dst ~src ~ip_src:(ip rng) ~ip_dst:(ip rng) ~id:7 ~seq:1
+  | n ->
+      let mk = if n land 1 = 0 then Packet.udp else Packet.tcp ?flags:None in
+      mk ~vlans ~dst ~src ~ip_src:(ip rng) ~ip_dst:(ip rng)
+        ~src_port:(pick rng l4_pool) ~dst_port:(pick rng l4_pool) "payload"
+
+let gen_scenario rng =
+  let tables = 1 + Rng.int rng 4 in
+  let ports = 2 + Rng.int rng 4 in
+  let now = ref 1_000 in
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  let advance () =
+    now := !now + 1 + Rng.int rng 1_000_000;
+    (* Occasionally jump past the timeout horizon so idle/hard expiry
+       (and the cache invalidation it causes) actually happens. *)
+    if Rng.int rng 16 = 0 then now := !now + Rng.int rng 2_500_000_000
+  in
+  let recent : (int * Packet.t) list ref = ref [] in
+  let n_init = 2 + Rng.int rng 6 in
+  for _ = 1 to n_init do
+    push
+      (Msg
+         {
+           now_ns = !now;
+           msg = Msg_.Flow_mod (gen_flow_mod rng ~tables ~ports ~force_add:true);
+         });
+    advance ()
+  done;
+  let n = 20 + Rng.int rng 40 in
+  for _ = 1 to n do
+    (match Rng.int rng 100 with
+    | x when x < 45 ->
+        let in_port, pkt =
+          match !recent with
+          | (p, k) :: _ when Rng.int rng 3 = 0 ->
+              (* Resend an earlier packet verbatim: the EMC-hit path. *)
+              (p, k)
+          | _ ->
+              let p = Rng.int rng ports and k = gen_packet rng in
+              recent := (p, k) :: !recent;
+              (p, k)
+        in
+        push (Packet { now_ns = !now; in_port; pkt })
+    | x when x < 75 ->
+        push
+          (Msg
+             {
+               now_ns = !now;
+               msg =
+                 Msg_.Flow_mod (gen_flow_mod rng ~tables ~ports ~force_add:false);
+             })
+    | x when x < 82 ->
+        push (Msg { now_ns = !now; msg = Msg_.Group_mod (gen_group_mod rng ~ports) })
+    | x when x < 89 ->
+        push (Msg { now_ns = !now; msg = Msg_.Meter_mod (gen_meter_mod rng) })
+    | _ -> push (Expire { now_ns = !now }));
+    advance ()
+  done;
+  { tables; ports; steps = List.rev !steps }
+
+(* ---- shrinking: greedy step removal to a fixpoint ---- *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let shrink sc0 d0 =
+  let best_sc = ref d0.scenario in
+  let best_d = ref d0 in
+  ignore sc0;
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let n = List.length !best_sc.steps in
+    (* Try dropping from the end first: later steps are more often
+       dead weight once the diverging packet is early. *)
+    let i = ref (n - 1) in
+    while !i >= 0 do
+      let candidate = { !best_sc with steps = drop_nth !best_sc.steps !i } in
+      (match run_scenario candidate with
+      | Some d ->
+          best_sc := candidate;
+          best_d := d;
+          improved := true
+      | None -> ());
+      decr i
+    done
+  done;
+  !best_d
+
+let check_case ~seed =
+  let rng = Rng.create seed in
+  let sc = gen_scenario rng in
+  match run_scenario sc with
+  | None -> None
+  | Some d -> Some (shrink sc d)
+
+type report = { cases : int; packets : int; divergences : divergence list }
+
+let count_packets sc =
+  List.length (List.filter (function Packet _ -> true | _ -> false) sc.steps)
+
+let run ?(on_divergence = fun _ -> ()) ~seed ~cases () =
+  let packets = ref 0 in
+  let divergences = ref [] in
+  for i = 0 to cases - 1 do
+    let rng = Rng.create (seed + i) in
+    let sc = gen_scenario rng in
+    packets := !packets + count_packets sc;
+    if List.length !divergences < 5 then
+      match run_scenario sc with
+      | None -> ()
+      | Some d ->
+          let d = shrink sc d in
+          divergences := d :: !divergences;
+          on_divergence d
+  done;
+  { cases; packets = !packets; divergences = List.rev !divergences }
+
+(* ---- repro files ---- *)
+
+let to_string sc =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# harmless differential repro v1\n";
+  Printf.bprintf b "tables %d\nports %d\n" sc.tables sc.ports;
+  List.iter
+    (function
+      | Msg { now_ns; msg } ->
+          Printf.bprintf b "msg %d %s\n" now_ns
+            (Hex.encode (Openflow.Of_codec.encode msg))
+      | Expire { now_ns } -> Printf.bprintf b "expire %d\n" now_ns
+      | Packet { now_ns; in_port; pkt } ->
+          Printf.bprintf b "packet %d %d %s\n" now_ns in_port
+            (Hex.encode (Packet.encode pkt)))
+    sc.steps;
+  Buffer.contents b
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let int_of s ~what =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bad %s %S" what s)
+  in
+  let parse_line (sc, steps) line =
+    match
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+    with
+    | [] -> Ok (sc, steps)
+    | tok :: _ when tok.[0] = '#' -> Ok (sc, steps)
+    | [ "tables"; n ] ->
+        let* n = int_of n ~what:"table count" in
+        Ok ({ sc with tables = n }, steps)
+    | [ "ports"; n ] ->
+        let* n = int_of n ~what:"port count" in
+        Ok ({ sc with ports = n }, steps)
+    | [ "msg"; now; hex ] ->
+        let* now_ns = int_of now ~what:"timestamp" in
+        let* bytes = Hex.decode hex in
+        let* msg, _xid =
+          Openflow.Of_codec.decode_result bytes
+          |> Result.map_error (fun e -> "bad flow-mod frame: " ^ e)
+        in
+        Ok (sc, Msg { now_ns; msg } :: steps)
+    | [ "expire"; now ] ->
+        let* now_ns = int_of now ~what:"timestamp" in
+        Ok (sc, Expire { now_ns } :: steps)
+    | [ "packet"; now; port; hex ] ->
+        let* now_ns = int_of now ~what:"timestamp" in
+        let* in_port = int_of port ~what:"port" in
+        let* bytes = Hex.decode hex in
+        let* pkt =
+          match Packet.decode bytes with
+          | pkt -> Ok pkt
+          | exception (Wire.Truncated _ | Wire.Malformed _) ->
+              Error "bad packet bytes"
+        in
+        Ok (sc, Packet { now_ns; in_port; pkt } :: steps)
+    | tok :: _ -> Error (Printf.sprintf "unknown directive %S" tok)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok acc
+    | line :: rest -> (
+        match parse_line acc line with
+        | Ok acc -> go (n + 1) acc rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e))
+  in
+  let* sc, steps = go 1 ({ tables = 4; ports = 4; steps = [] }, []) lines in
+  Ok { sc with steps = List.rev steps }
+
+let save ~path ?comment sc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (match comment with
+      | Some c ->
+          String.split_on_char '\n' c
+          |> List.iter (fun l -> output_string oc ("# " ^ l ^ "\n"))
+      | None -> ());
+      output_string oc (to_string sc))
+
+let load ~path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Result.map run_scenario (of_string text)
+
+let pp_divergence fmt d =
+  Format.fprintf fmt
+    "@[<v>divergence: backend %s disagrees with the oracle at step %d@,\
+     expected %s@,\
+     actual   %s@,\
+     repro (%d steps):@,%s@]"
+    d.backend d.step_index d.expected d.actual
+    (List.length d.scenario.steps)
+    (to_string d.scenario)

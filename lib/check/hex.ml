@@ -1,0 +1,30 @@
+let encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let digit = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error (Printf.sprintf "hex: odd length %d" n)
+  else begin
+    let b = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.unsafe_to_string b)
+      else
+        match (digit s.[i], digit s.[i + 1]) with
+        | Some hi, Some lo ->
+            Bytes.set b (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | _ -> Error (Printf.sprintf "hex: bad digit at offset %d" i)
+    in
+    go 0
+  end
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error e -> invalid_arg e

@@ -1,0 +1,12 @@
+(** Lowercase hex <-> raw bytes, the encoding repro files and pinned
+    regression cases use for packets and OpenFlow frames. *)
+
+val encode : string -> string
+(** ["\x00\xab"] -> ["00ab"]. *)
+
+val decode : string -> (string, string) result
+(** Inverse of {!encode}; accepts upper- or lowercase digits. *)
+
+val decode_exn : string -> string
+(** @raise Invalid_argument on malformed hex — for hand-written test
+    vectors where failure is a bug in the vector itself. *)

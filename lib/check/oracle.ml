@@ -1,0 +1,169 @@
+open Netpkt
+module P = Openflow.Pipeline
+module FE = Openflow.Flow_entry
+module FT = Openflow.Flow_table
+module A = Openflow.Of_action
+module M = Openflow.Of_match
+
+let classify pipeline ~table_id ~in_port fields =
+  (* Exhaustive scan; first entry of the highest matching priority wins
+     (Flow_table keeps insertion order within a priority, and so does
+     this fold: a later entry replaces the champion only when strictly
+     better). *)
+  List.fold_left
+    (fun best (e : FE.t) ->
+      if not (M.matches e.FE.match_ ~in_port fields) then best
+      else
+        match best with
+        | Some (b : FE.t) when b.FE.priority >= e.FE.priority -> best
+        | _ -> Some e)
+    None
+    (FT.entries (P.table pipeline table_id))
+
+(* The deferred action set, spec-literal: at most one action per kind.
+   Rewrites apply in the order they were (last) written — writing a kind
+   again moves it to the end — and the optional output/group runs after
+   every rewrite. *)
+
+let kind_tag = function
+  | A.Set_vlan_vid _ -> 0
+  | A.Set_vlan_pcp _ -> 1
+  | A.Set_eth_src _ -> 2
+  | A.Set_eth_dst _ -> 3
+  | A.Set_ip_src _ -> 4
+  | A.Set_ip_dst _ -> 5
+  | A.Set_ip_tos _ -> 6
+  | A.Set_l4_src _ -> 7
+  | A.Set_l4_dst _ -> 8
+  | A.Push_vlan -> 9
+  | A.Pop_vlan -> 10
+  | A.Output _ -> 11
+  | A.Group _ -> 12
+  | A.Drop -> 13
+
+type action_set = {
+  mutable writes : (int * A.t) list; (* application order *)
+  mutable final : A.t option;        (* Output or Group *)
+}
+
+let write_to set action =
+  match action with
+  | A.Output _ | A.Group _ -> set.final <- Some action
+  | A.Drop ->
+      set.writes <- [];
+      set.final <- None
+  | rewrite ->
+      let k = kind_tag rewrite in
+      set.writes <-
+        List.filter (fun (k', _) -> k' <> k) set.writes @ [ (k, rewrite) ]
+
+let execute pipeline ~now_ns ~in_port pkt =
+  let outputs = ref [] in
+  let matched = ref [] in
+  let miss = ref false in
+  let emit o = outputs := o :: !outputs in
+  (* [entered]: group ids currently being executed, to cut group
+     chaining loops — same contract as the production executor. *)
+  let rec apply_actions ~entered pkt actions =
+    match actions with
+    | [] -> pkt
+    | A.Output target :: rest ->
+        emit
+          (match target with
+          | A.Physical p -> P.Port (p, pkt)
+          | A.In_port -> P.In_port pkt
+          | A.Flood -> P.Flood pkt
+          | A.All -> P.All_ports pkt
+          | A.Controller n -> P.Controller (n, pkt));
+        apply_actions ~entered pkt rest
+    | A.Group gid :: rest ->
+        if not (List.mem gid entered) then begin
+          let hash = P.flow_hash (Packet.Fields.of_packet pkt) in
+          match
+            Openflow.Group_table.select_buckets (P.groups pipeline) ~id:gid
+              ~flow_hash:hash
+          with
+          | buckets ->
+              (* Each bucket starts from the packet as it reached the
+                 group; bucket-local rewrites do not leak out. *)
+              List.iter
+                (fun (b : Openflow.Group_table.bucket) ->
+                  ignore
+                    (apply_actions ~entered:(gid :: entered) pkt
+                       b.Openflow.Group_table.actions))
+                buckets
+          | exception Not_found -> ()
+        end;
+        apply_actions ~entered pkt rest
+    | A.Drop :: rest -> apply_actions ~entered pkt rest
+    | rewrite :: rest ->
+        apply_actions ~entered (A.apply_rewrite rewrite pkt) rest
+  in
+  let apply_actions pkt actions = apply_actions ~entered:[] pkt actions in
+  let set = { writes = []; final = None } in
+  let finish pkt =
+    let pkt =
+      List.fold_left (fun p (_, a) -> A.apply_rewrite a p) pkt set.writes
+    in
+    match set.final with
+    | None -> ()
+    | Some final -> ignore (apply_actions pkt [ final ])
+  in
+  let rec walk table_id pkt =
+    if table_id >= P.num_tables pipeline then finish pkt
+    else
+      let fields = Packet.Fields.of_packet pkt in
+      match classify pipeline ~table_id ~in_port fields with
+      | None ->
+          (* A miss ends the walk but the action set accumulated so far
+             still runs — same as the production executor. *)
+          miss := true;
+          finish pkt
+      | Some entry ->
+          FE.touch entry ~now_ns ~bytes:(Packet.size pkt);
+          matched := entry :: !matched;
+          let pkt = ref pkt in
+          let goto = ref None in
+          let policed_out = ref false in
+          List.iter
+            (fun instruction ->
+              if not !policed_out then
+                match instruction with
+                | FE.Apply_actions actions ->
+                    pkt := apply_actions !pkt actions
+                | FE.Write_actions actions -> List.iter (write_to set) actions
+                | FE.Clear_actions ->
+                    set.writes <- [];
+                    set.final <- None
+                | FE.Goto_table n -> goto := Some n
+                | FE.Meter id -> (
+                    match
+                      Openflow.Meter_table.apply (P.meters pipeline) ~id
+                        ~now_ns ~bytes:(Packet.size !pkt)
+                    with
+                    | `Pass -> ()
+                    | `Drop -> policed_out := true))
+            entry.FE.instructions;
+          (* A metered-out packet stops dead: later instructions were
+             already skipped, and the action set never runs — but outputs
+             emitted before the meter stand. *)
+          if not !policed_out then
+            match !goto with
+            | Some next when next > table_id -> walk next !pkt
+            | Some _ | None -> finish !pkt
+  in
+  walk 0 pkt;
+  {
+    P.outputs = List.rev !outputs;
+    table_miss = !miss;
+    matched = List.rev !matched;
+  }
+
+let dataplane pipeline =
+  {
+    Softswitch.Dataplane.name = "oracle";
+    process =
+      (fun ~now_ns ~in_port pkt -> (execute pipeline ~now_ns ~in_port pkt, 0));
+    stats = (fun () -> []);
+    tier = (fun () -> "oracle");
+  }

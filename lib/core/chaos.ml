@@ -26,6 +26,8 @@ let controller t = t.ctrl
 let device t = t.device
 let channel t = Sdnctl.Controller.channel t.ctrl t.ss2_dpid
 let ss2 t = Failover.ss2 t.fo
+let ss1 t = Failover.ss1 t.fo
+let port_map t = Failover.port_map t.fo
 
 let default_channel_config =
   {

@@ -56,6 +56,8 @@ val controller : rig -> Sdnctl.Controller.t
 val device : rig -> Mgmt.Device.t
 val channel : rig -> Sdnctl.Channel.t
 val ss2 : rig -> Softswitch.Soft_switch.t
+val ss1 : rig -> Softswitch.Soft_switch.t
+val port_map : rig -> Port_map.t
 
 (** What a chaos run did and how the deployment fared. *)
 type report = {

@@ -869,6 +869,11 @@ let decode frame =
   with Wire.Truncated what | Wire.Malformed what ->
     fail "truncated or malformed %s" what
 
+let decode_result frame =
+  match decode frame with
+  | msg -> Ok msg
+  | exception Decode_error e -> Error e
+
 let decode_stream buf =
   let ctx = "of_stream" in
   let frames = ref [] in
@@ -884,3 +889,8 @@ let decode_stream buf =
     pos := !pos + length
   done;
   List.rev !frames
+
+let decode_stream_result buf =
+  match decode_stream buf with
+  | msgs -> Ok msgs
+  | exception Decode_error e -> Error e

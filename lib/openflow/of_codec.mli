@@ -29,5 +29,15 @@ val decode_stream : string -> (Of_message.t * int32) list
     TCP receive path does.  @raise Decode_error as {!decode}, including
     on trailing garbage. *)
 
+val decode_result : string -> (Of_message.t * int32, string) result
+(** {!decode}, but with the parse-total contract as a type: any
+    malformed input is [Error], never an exception.  This is the entry
+    point the fuzzer drives — if [decode_result] raises anything at all,
+    that is a codec bug. *)
+
+val decode_stream_result :
+  string -> ((Of_message.t * int32) list, string) result
+(** {!decode_stream} under the same total contract. *)
+
 val message_type_code : Of_message.t -> int
 (** The OpenFlow header type byte this message encodes to. *)

@@ -83,7 +83,11 @@ let execute_with t ~lookup ~now_ns ~in_port pkt =
   let matched = ref [] in
   let miss = ref false in
   let emit out = outputs := out :: !outputs in
-  let rec run_actions pkt actions =
+  (* [entered] guards against group chaining loops (a bucket whose
+     actions reference a group already being executed, e.g. a group
+     pointing at itself).  OpenFlow forbids such chains; a switch fed one
+     anyway must not diverge, so the cyclic reference is a no-op. *)
+  let rec run_actions ?(entered = []) pkt actions =
     match actions with
     | [] -> pkt
     | action :: rest -> (
@@ -95,18 +99,23 @@ let execute_with t ~lookup ~now_ns ~in_port pkt =
             | Of_action.Flood -> emit (Flood pkt)
             | Of_action.All -> emit (All_ports pkt)
             | Of_action.Controller n -> emit (Controller (n, pkt)));
-            run_actions pkt rest
+            run_actions ~entered pkt rest
         | Of_action.Group gid ->
-            let hash = flow_hash (Packet.Fields.of_packet pkt) in
-            (match Group_table.select_buckets t.group_table ~id:gid ~flow_hash:hash with
-            | buckets ->
-                List.iter
-                  (fun b -> ignore (run_actions pkt b.Group_table.actions))
-                  buckets
-            | exception Not_found -> ());
-            run_actions pkt rest
-        | Of_action.Drop -> run_actions pkt rest
-        | _ -> run_actions (Of_action.apply_rewrite action pkt) rest)
+            if not (List.mem gid entered) then begin
+              let hash = flow_hash (Packet.Fields.of_packet pkt) in
+              match Group_table.select_buckets t.group_table ~id:gid ~flow_hash:hash with
+              | buckets ->
+                  List.iter
+                    (fun b ->
+                      ignore
+                        (run_actions ~entered:(gid :: entered) pkt
+                           b.Group_table.actions))
+                    buckets
+              | exception Not_found -> ()
+            end;
+            run_actions ~entered pkt rest
+        | Of_action.Drop -> run_actions ~entered pkt rest
+        | _ -> run_actions ~entered (Of_action.apply_rewrite action pkt) rest)
   in
   let rec walk table_id pkt set =
     if table_id >= Array.length t.tables then finish pkt set

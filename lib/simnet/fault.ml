@@ -21,6 +21,37 @@ let pp_event fmt e =
   Format.fprintf fmt "%a %s %a" Sim_time.pp_span e.after e.target pp_action
     e.action
 
+let to_script events =
+  events
+  |> List.map (fun e -> Format.asprintf "%a" pp_event e)
+  |> String.concat "\n"
+
+let random_events rng ~targets ~n ~horizon =
+  if targets = [] then invalid_arg "Fault.random_events: no targets";
+  if horizon <= 0 then invalid_arg "Fault.random_events: horizon <= 0";
+  let pick l = List.nth l (Rng.int rng (List.length l)) in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  for _ = 1 to n do
+    let target = pick targets in
+    let start = Rng.int rng (max 1 (horizon * 7 / 10)) in
+    let stop = min horizon (start + 1 + Rng.int rng (max 1 (horizon / 4))) in
+    match Rng.int rng 4 with
+    | 0 ->
+        emit { after = start; target; action = Down };
+        emit { after = stop; target; action = Up }
+    | 1 ->
+        let loss = float_of_int (Rng.int rng 20) /. 100.0 in
+        let jitter = Rng.int rng 100_000 in
+        emit { after = start; target; action = Degrade { loss; jitter } };
+        emit { after = stop; target; action = Up }
+    | 2 -> emit { after = start; target; action = Flaky (1 + Rng.int rng 3) }
+    | _ ->
+        emit { after = start; target; action = Crash };
+        emit { after = stop; target; action = Restart }
+  done;
+  List.stable_sort (fun a b -> compare a.after b.after) !events
+
 (* ---- script parsing ---- *)
 
 let parse_span s =

@@ -41,6 +41,20 @@ val parse_span : string -> (Sim_time.span, string) result
 val parse_script : string -> (event list, string) result
 (** Parse the text format above.  Errors name the offending line. *)
 
+val to_script : event list -> string
+(** Render events back to the text format, one per line, such that
+    [parse_script (to_script evs)] succeeds.  Lets a randomly generated
+    schedule be printed, saved, and replayed verbatim. *)
+
+val random_events :
+  Rng.t -> targets:string list -> n:int -> horizon:Sim_time.span -> event list
+(** [random_events rng ~targets ~n ~horizon] draws [n] random faults over
+    the given targets, each paired with its recovery ([Down]/[Degrade]
+    get an [Up], [Crash] a [Restart]; [Flaky] self-heals), all within
+    [horizon].  Sorted by [after]; same rng state gives the same
+    schedule.
+    @raise Invalid_argument if [targets] is empty or [horizon <= 0]. *)
+
 type injector
 
 val create : Engine.t -> injector

@@ -20,6 +20,7 @@ type t = {
   datapath_id : int64;
   miss : miss_behavior;
   mutable controller : Of_message.t -> unit;
+  mutable to_controller_observers : (Of_message.t -> unit) list;
   mutable packet_ins : int;
   mutable flow_mods : int;
   mutable since_expiry : int;
@@ -39,7 +40,14 @@ let name t = t.name
 let pipeline t = t.pipeline
 let datapath_id t = t.datapath_id
 let dataplane_name t = t.dataplane.Dataplane.name
-let set_controller t f = t.controller <- f
+let set_controller t f =
+  t.controller <-
+    (fun msg ->
+      List.iter (fun observe -> observe msg) t.to_controller_observers;
+      f msg)
+
+let observe_messages_to_controller t f =
+  t.to_controller_observers <- t.to_controller_observers @ [ f ]
 let pmd t = t.pmd
 let connected t = t.connected
 let alive t = t.alive
@@ -420,6 +428,7 @@ let create engine ~name ~ports ?(dataplane = Eswitch) ?(pmd = Pmd.default_config
       datapath_id = !next_dpid;
       miss;
       controller = (fun _ -> ());
+      to_controller_observers = [];
       packet_ins = 0;
       flow_mods = 0;
       since_expiry = 0;
@@ -433,6 +442,7 @@ let create engine ~name ~ports ?(dataplane = Eswitch) ?(pmd = Pmd.default_config
       crashes = 0;
     }
   in
+  set_controller t (fun _ -> ());
   Node.set_handler node (fun _node ~in_port pkt -> handle_packet t ~in_port pkt);
   (* Surface carrier changes to the controller as OFPT_PORT_STATUS. *)
   Node.on_attachment_change node (fun ~port ~up ->

@@ -53,6 +53,14 @@ val dataplane_name : t -> string
 val set_controller : t -> (Openflow.Of_message.t -> unit) -> unit
 (** Where the agent sends its messages (packet-ins, replies). *)
 
+val observe_messages_to_controller :
+  t -> (Openflow.Of_message.t -> unit) -> unit
+(** Register a read-only tap on every message the switch sends towards its
+    controller, in addition to (and before) the [set_controller] callback.
+    Used by the transparency oracle to assert that no packet-in ever
+    carries a VLAN header.  Observers persist across [set_controller]
+    calls. *)
+
 val set_connection_mode : t -> connection_mode -> unit
 (** What to do with would-be packet-ins while disconnected.  Default
     [Fail_secure], per the OpenFlow spec. *)

@@ -1,0 +1,272 @@
+(* The conformance subsystem checking itself: corpus replay, pinned
+   fuzzer findings, differential properties against the oracle, and the
+   SS_1 transparency invariant. *)
+
+open Netpkt
+module D = Check.Differential
+module P = Openflow.Pipeline
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 100) gen ~print f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+(* ---- corpus ---- *)
+
+let read_hex_corpus path =
+  let ic = open_in path in
+  let frames = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         frames := Check.Hex.decode_exn line :: !frames
+     done
+   with End_of_file -> close_in ic);
+  List.rev !frames
+
+let corpus_tests =
+  [
+    tc "valid corpus replays clean" (fun () ->
+        let frames = read_hex_corpus "corpus/openflow_valid.hex" in
+        check Alcotest.bool "has frames" true (List.length frames >= 20);
+        let r = Check.Codec_fuzz.run_corpus frames in
+        List.iter
+          (fun f -> Alcotest.failf "%a" Check.Codec_fuzz.pp_failure f)
+          r.Check.Codec_fuzz.failures;
+        (* every valid-corpus frame must actually decode *)
+        check Alcotest.int "all decoded" r.Check.Codec_fuzz.cases
+          r.Check.Codec_fuzz.decoded);
+    tc "tricky corpus is rejected, never thrown" (fun () ->
+        let frames = read_hex_corpus "corpus/openflow_tricky.hex" in
+        check Alcotest.bool "has frames" true (List.length frames >= 8);
+        let r = Check.Codec_fuzz.run_corpus frames in
+        List.iter
+          (fun f -> Alcotest.failf "%a" Check.Codec_fuzz.pp_failure f)
+          r.Check.Codec_fuzz.failures;
+        check Alcotest.int "all rejected" r.Check.Codec_fuzz.cases
+          r.Check.Codec_fuzz.rejected);
+    tc "pinned repros replay without divergence" (fun () ->
+        List.iter
+          (fun path ->
+            match D.load ~path with
+            | Ok None -> ()
+            | Ok (Some d) ->
+                Alcotest.failf "%s reproduces: %a" path D.pp_divergence d
+            | Error e -> Alcotest.failf "%s failed to parse: %s" path e)
+          [ "corpus/group_loop.repro"; "corpus/scenario_1234.repro" ]);
+  ]
+
+(* ---- pinned regression: group chaining loops ---- *)
+
+let group_loop_tests =
+  let open Openflow in
+  let packet =
+    Packet.udp
+      ~dst:(Mac_addr.of_string "02:00:00:00:00:02")
+      ~src:(Mac_addr.of_string "02:00:00:00:00:01")
+      ~ip_src:(Ipv4_addr.of_string "10.0.0.1")
+      ~ip_dst:(Ipv4_addr.of_string "10.0.0.2")
+      ~src_port:1000 ~dst_port:2000 "loop"
+  in
+  let build buckets_of_group =
+    let pipe = P.create ~num_tables:1 () in
+    List.iter
+      (fun (id, actions) ->
+        Group_table.add (P.groups pipe) ~id Group_table.All
+          [ { Group_table.weight = 1; actions } ])
+      buckets_of_group;
+    Flow_table.add (P.table pipe 0) ~now_ns:0
+      (Flow_entry.make ~priority:100 ~match_:Of_match.any
+         [ Flow_entry.Apply_actions [ Of_action.Group 1 ] ]);
+    pipe
+  in
+  let outputs_of pipe =
+    let r = P.execute pipe ~now_ns:1000 ~in_port:0 packet in
+    List.filter_map
+      (function P.Port (p, _) -> Some p | _ -> None)
+      r.P.outputs
+  in
+  [
+    tc "self-referencing group terminates" (fun () ->
+        (* group 1's bucket invokes group 1: before the fix this overran
+           the stack; now the cyclic reference is a no-op. *)
+        let pipe =
+          build [ (1, [ Of_action.Group 1; Of_action.output 2 ]) ]
+        in
+        check Alcotest.(list int) "ports" [ 2 ] (outputs_of pipe));
+    tc "mutually recursive groups terminate" (fun () ->
+        let pipe =
+          build
+            [
+              (1, [ Of_action.Group 2; Of_action.output 2 ]);
+              (2, [ Of_action.Group 1; Of_action.output 3 ]);
+            ]
+        in
+        (* 1 -> (2 -> (1 cut, out 3), out 2) *)
+        check Alcotest.(list int) "ports" [ 3; 2 ] (outputs_of pipe));
+    tc "oracle agrees on cyclic groups" (fun () ->
+        let mk () =
+          build
+            [
+              (1, [ Of_action.Group 2; Of_action.output 2 ]);
+              (2, [ Of_action.Group 1; Of_action.output 3 ]);
+            ]
+        in
+        let expected =
+          D.render_result
+            (Check.Oracle.execute (mk ()) ~now_ns:1000 ~in_port:0 packet)
+        in
+        let actual =
+          D.render_result (P.execute (mk ()) ~now_ns:1000 ~in_port:0 packet)
+        in
+        check Alcotest.string "rendered" expected actual);
+  ]
+
+(* ---- differential properties ---- *)
+
+let seed_gen = QCheck2.Gen.int_range 1 1_000_000
+
+let diff_tests =
+  [
+    prop "all backends agree with the oracle" ~count:150 seed_gen
+      ~print:string_of_int (fun seed ->
+        match D.check_case ~seed with
+        | None -> true
+        | Some d ->
+            QCheck2.Test.fail_reportf "%a" D.pp_divergence d);
+    prop "caches survive flow-mod churn" ~count:60 seed_gen
+      ~print:string_of_int (fun seed ->
+        (* Directed at cache invalidation: every flow-mod is immediately
+           followed by the same packet that was forwarded just before it,
+           so a stale EMC/megaflow entry or unrecompiled eswitch template
+           diverges from the oracle at once. *)
+        let rng = Simnet.Rng.create seed in
+        let tables = 1 + Simnet.Rng.int rng 3 in
+        let ports = 2 + Simnet.Rng.int rng 3 in
+        let now = ref 1000 in
+        let steps = ref [] in
+        let push s = steps := s :: !steps in
+        for _ = 1 to 12 do
+          let pkt = D.gen_packet rng in
+          now := !now + 1 + Simnet.Rng.int rng 1_000_000;
+          push
+            (D.Packet
+               { now_ns = !now; in_port = Simnet.Rng.int rng ports; pkt });
+          now := !now + 1;
+          push
+            (D.Msg
+               {
+                 now_ns = !now;
+                 msg =
+                   Openflow.Of_message.Flow_mod
+                     (D.gen_flow_mod rng ~tables ~ports ~force_add:false);
+               });
+          now := !now + 1;
+          (* the packet right after the mod is the one a stale cache
+             would misforward *)
+          push
+            (D.Packet
+               { now_ns = !now; in_port = Simnet.Rng.int rng ports; pkt });
+          if Simnet.Rng.int rng 4 = 0 then begin
+            now := !now + 3_000_000_000;
+            push (D.Expire { now_ns = !now })
+          end
+        done;
+        let scenario = { D.tables; ports; steps = List.rev !steps } in
+        match D.run_scenario scenario with
+        | None -> true
+        | Some d ->
+            QCheck2.Test.fail_reportf "%a" D.pp_divergence d);
+    prop "repro files round-trip" ~count:100 seed_gen ~print:string_of_int
+      (fun seed ->
+        let sc = D.gen_scenario (Simnet.Rng.create seed) in
+        let text = D.to_string sc in
+        match D.of_string text with
+        | Error e -> QCheck2.Test.fail_reportf "parse failed: %s" e
+        | Ok sc2 ->
+            let text2 = D.to_string sc2 in
+            if text = text2 then true
+            else
+              QCheck2.Test.fail_reportf "not a fixpoint:@.%s@.vs@.%s" text
+                text2);
+    tc "batch run: 300 cases, zero divergences" (fun () ->
+        let r = D.run ~seed:7 ~cases:300 () in
+        List.iter
+          (fun d -> Alcotest.failf "%a" D.pp_divergence d)
+          r.D.divergences;
+        check Alcotest.int "cases" 300 r.D.cases;
+        check Alcotest.bool "packets compared" true (r.D.packets > 300));
+  ]
+
+(* ---- codec fuzz ---- *)
+
+let codec_tests =
+  [
+    tc "mutation fuzz: 3000 cases, contract holds" (fun () ->
+        let r = Check.Codec_fuzz.run ~seed:11 ~cases:3000 in
+        List.iter
+          (fun f -> Alcotest.failf "%a" Check.Codec_fuzz.pp_failure f)
+          r.Check.Codec_fuzz.failures;
+        check Alcotest.bool "some decoded" true (r.Check.Codec_fuzz.decoded > 0);
+        check Alcotest.bool "some rejected" true
+          (r.Check.Codec_fuzz.rejected > 0));
+    prop "hex round-trips" ~count:200
+      (QCheck2.Gen.string_size (QCheck2.Gen.int_bound 64))
+      ~print:String.escaped (fun s ->
+        Check.Hex.decode (Check.Hex.encode s) = Ok s);
+    tc "hex rejects bad input" (fun () ->
+        check Alcotest.bool "odd length" true
+          (Result.is_error (Check.Hex.decode "abc"));
+        check Alcotest.bool "bad char" true
+          (Result.is_error (Check.Hex.decode "zz")));
+  ]
+
+(* ---- transparency ---- *)
+
+let transparency_tests =
+  [
+    prop "hairpin invariant over random port maps" ~count:40 seed_gen
+      ~print:string_of_int (fun seed ->
+        match Check.Transparency_oracle.check_hairpin ~seed with
+        | [] -> true
+        | v :: _ ->
+            QCheck2.Test.fail_reportf "%a"
+              Check.Transparency_oracle.pp_violation v);
+    tc "end-to-end transparency under a fault storm" (fun () ->
+        match Check.Transparency_oracle.run ~seed:42 ~fault_count:6 () with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            List.iter
+              (fun v ->
+                Alcotest.failf "%a" Check.Transparency_oracle.pp_violation v)
+              r.Check.Transparency_oracle.violations;
+            check Alcotest.bool "trunk traffic observed" true
+              (r.Check.Transparency_oracle.trunk_frames > 0);
+            check Alcotest.bool "patch traffic observed" true
+              (r.Check.Transparency_oracle.patch_frames > 0);
+            check Alcotest.bool "packet-ins inspected" true
+              (r.Check.Transparency_oracle.packet_ins > 0);
+            check Alcotest.bool "faults actually injected" true
+              (r.Check.Transparency_oracle.faults_injected > 0));
+    tc "end-to-end transparency, calm network" (fun () ->
+        match Check.Transparency_oracle.run ~seed:7 ~fault_count:0 () with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            List.iter
+              (fun v ->
+                Alcotest.failf "%a" Check.Transparency_oracle.pp_violation v)
+              r.Check.Transparency_oracle.violations;
+            check Alcotest.bool "host traffic observed" true
+              (r.Check.Transparency_oracle.host_frames > 0));
+  ]
+
+let suite =
+  [
+    ("check.corpus", corpus_tests);
+    ("check.group-loop", group_loop_tests);
+    ("check.differential", diff_tests);
+    ("check.codec-fuzz", codec_tests);
+    ("check.transparency", transparency_tests);
+  ]

@@ -294,9 +294,73 @@ let fuzz_tests =
         total_by_fuzz (String.sub frame 0 cut));
   ]
 
+(* ---- pinned fuzzer findings: the result API must return Error ---- *)
+
+(* Each hex frame below is a class of input the differential/codec
+   fuzzing campaign threw at the decoder: truncated bodies, length
+   fields that lie (header and interior), unknown types, garbage.  The
+   contract is [decode_result]: a clean [Error _], never an exception. *)
+let rejected_frames =
+  [
+    ("empty input", "");
+    ("header cut to 4 bytes", "040c001c");
+    ("bare minimal header, body missing", "040e0048000000ff");
+    ( "oversized header length on a real echo",
+      "040cffff000000000200000000000000000000130000000000000000" );
+    ( "header length below the 8-byte minimum",
+      "04130004000000050004000000000000" );
+    ( "header length one short of the body",
+      "040c001b000000000200000000000000000000130000000000000000" );
+    ( "valid echo frame plus trailing garbage",
+      "040c001c00000000020000000000000000000013000000000000000000000000" );
+    ("all-ones header", "ffffffffffffffff");
+    ("unknown message type 0x63", "0463000800000001");
+    ( "interior stats length blown up to 0xffff",
+      "04130080000000050004ffff000000000000003300000000000000000000000000\
+       00000000000000000000000000000000000000000000000000000000000000000000\
+       00000000000000000000000000000000000000000000000000000000000000000000\
+       0000000000000000000000000000000000000000000000000000" );
+    ( "packet-out whose inner frame is truncated",
+      "040d0010fffffffdffffffff00200000" );
+  ]
+
+let result_api_tests =
+  List.map
+    (fun (name, hex) ->
+      tc name (fun () ->
+          let frame =
+            match Check.Hex.decode hex with
+            | Ok f -> f
+            | Error e -> Alcotest.failf "bad test hex: %s" e
+          in
+          match Of_codec.decode_result frame with
+          | Error _ -> ()
+          | Ok (m, _) ->
+              Alcotest.failf "unexpectedly decoded: %a" Of_message.pp m
+          | exception e ->
+              Alcotest.failf "decode_result raised %s" (Printexc.to_string e)))
+    rejected_frames
+  @ [
+      tc "decode_result accepts what decode accepts" (fun () ->
+          let frame = Of_codec.encode ~xid:9l Of_message.Hello in
+          match Of_codec.decode_result frame with
+          | Ok (Of_message.Hello, 9l) -> ()
+          | Ok _ -> Alcotest.fail "wrong message"
+          | Error e -> Alcotest.failf "rejected a valid frame: %s" e);
+      tc "decode_stream_result rejects a torn stream" (fun () ->
+          let stream = Of_codec.encode Of_message.Hello ^ "\x04" in
+          match Of_codec.decode_stream_result stream with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "accepted a torn stream"
+          | exception e ->
+              Alcotest.failf "decode_stream_result raised %s"
+                (Printexc.to_string e));
+    ]
+
 let suite =
   [
     ("codec.roundtrip", roundtrip_tests);
     ("codec.errors", error_tests);
     ("codec.fuzz", fuzz_tests);
+    ("codec.result-api", result_api_tests);
   ]
