@@ -471,30 +471,76 @@ let write_json ~path ~quick rows =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--json FILE] [--quick]\n\
-     \  --json FILE  also write results as JSON (see EXPERIMENTS.md)\n\
-     \  --quick      short measurement quota, skip the E1-E15 tables";
+    "usage: main.exe [--json FILE] [--force] [--append-history FILE] [--quick]\n\
+     \  --json FILE            also write results as JSON (see EXPERIMENTS.md);\n\
+     \                         refuses to clobber an existing FILE without --force\n\
+     \  --force                overwrite an existing --json FILE\n\
+     \  --append-history FILE  append this run to a JSONL bench-history store\n\
+     \                         (see `harmlessctl perf`)\n\
+     \  --quick                short measurement quota, skip the E1-E15 tables";
   exit 2
 
 let () =
-  let json_path = ref None and quick = ref false in
+  let json_path = ref None
+  and history_path = ref None
+  and force = ref false
+  and quick = ref false in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
         json_path := Some file;
         parse rest
     | [ "--json" ] -> usage ()
+    | "--append-history" :: file :: rest ->
+        history_path := Some file;
+        parse rest
+    | [ "--append-history" ] -> usage ()
+    | "--force" :: rest ->
+        force := true;
+        parse rest
     | "--quick" :: rest ->
         quick := true;
         parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* Fail before the (minutes-long) measurement, not after it. *)
+  (match !json_path with
+  | Some path when Sys.file_exists path && not !force ->
+      Printf.eprintf
+        "error: %s exists; pass --force to overwrite it (or --append-history \
+         to keep a trajectory)\n"
+        path;
+      exit 2
+  | Some _ | None -> ());
   print_endline "== Bechamel microbenchmarks ==";
   let rows = run_benchmarks ~quota:(if !quick then 0.02 else 0.3) () in
   print_newline ();
   (match !json_path with
   | Some path -> write_json ~path ~quick:!quick rows
+  | None -> ());
+  (match !history_path with
+  | Some path ->
+      let snapshot =
+        {
+          Telemetry.Bench_history.quick = !quick;
+          label = "";
+          rows =
+            List.map
+              (fun r ->
+                {
+                  Telemetry.Bench_history.name = r.row_name;
+                  ns_per_run =
+                    (if Float.is_nan r.ns_per_run then None else Some r.ns_per_run);
+                  r_square =
+                    (if Float.is_nan r.r_square then None else Some r.r_square);
+                  runs = r.runs;
+                })
+              rows;
+        }
+      in
+      Telemetry.Bench_history.append ~path snapshot;
+      Printf.printf "appended %d results to %s\n" (List.length rows) path
   | None -> ());
   if !quick then ()
   else begin

@@ -198,7 +198,7 @@ let build_scenario () =
 
 (* ---- trace: hop-by-hop packet walk ---- *)
 
-let run_trace chrome_out =
+let run_trace format chrome_out =
   let engine, deployment, _ctrl, ping = build_scenario () in
   (* Steady state reached: trace the second ping. *)
   let (), traces_and_hops =
@@ -216,33 +216,60 @@ let run_trace chrome_out =
   in
   let traces, hops = traces_and_hops in
   let view = Harmless.Trace_view.of_deployment deployment in
-  Format.printf
-    "ping h0 -> h1 through the HARMLESS deployment (steady state):@.@.";
-  List.iter (fun tr -> Format.printf "%a@." (Harmless.Trace_view.pp_trace view) tr) traces;
-  (match chrome_out with
+  let spans =
+    Telemetry.Span.of_traces
+      ~stage_of:(Harmless.Trace_view.semantic view)
+      traces
+  in
+  (match format with
+  | `Text ->
+      Format.printf
+        "ping h0 -> h1 through the HARMLESS deployment (steady state):@.@.";
+      List.iter
+        (fun tr -> Format.printf "%a@." (Harmless.Trace_view.pp_trace view) tr)
+        traces
+  | `Chrome -> print_endline (Telemetry.Chrome_trace.to_string ~spans hops)
+  | `Collapsed -> print_string (Telemetry.Span.to_collapsed spans));
+  match chrome_out with
   | None -> ()
   | Some path -> (
-      match Telemetry.Chrome_trace.save ~path hops with
+      match Telemetry.Chrome_trace.save ~path ~spans hops with
       | () ->
-          Format.printf
-            "wrote %s (%d events; load it in chrome://tracing or Perfetto)@."
+          Printf.eprintf
+            "wrote %s (%d events; load it in chrome://tracing or Perfetto)\n"
             path (List.length hops)
       | exception Sys_error msg ->
           Printf.eprintf "cannot write chrome trace: %s\n" msg;
-          exit 1))
+          exit 1)
+
+let trace_format_arg =
+  let fmt_conv =
+    Arg.enum [ ("text", `Text); ("chrome", `Chrome); ("collapsed", `Collapsed) ]
+  in
+  Arg.(
+    value
+    & opt fmt_conv `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,text) (hop-by-hop narrative), $(b,chrome) \
+           (trace-event JSON for chrome://tracing / Perfetto, span events \
+           included) or $(b,collapsed) (flamegraph.pl collapsed stacks — \
+           paste into speedscope.app).")
 
 let chrome_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "chrome" ] ~docv:"FILE"
-        ~doc:"Also export the hops as a Chrome trace-event JSON file.")
+        ~doc:
+          "Also export the hops (and derived spans) as a Chrome \
+           trace-event JSON file, regardless of $(b,--format).")
 
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"trace a ping hop-by-hop through the HARMLESS data path")
-    Term.(const run_trace $ chrome_arg)
+    Term.(const run_trace $ trace_format_arg $ chrome_arg)
 
 (* ---- metrics: registry snapshot ---- *)
 
@@ -591,6 +618,119 @@ let fuzz_cmd =
       const run_fuzz $ fuzz_cases_arg $ fuzz_seed_arg $ fuzz_dir_arg
       $ fuzz_replay_arg)
 
+(* ---- perf: attribution report and bench-regression gating ---- *)
+
+let load_snapshot_or_die ~what path =
+  match Telemetry.Bench_history.load_snapshot ~path with
+  | Ok snap -> snap
+  | Error msg ->
+      Printf.eprintf "cannot load %s %s: %s\n" what path msg;
+      exit 1
+
+let thresholds_of ~quick_tolerant =
+  if quick_tolerant then Telemetry.Bench_history.quick_tolerant
+  else Telemetry.Bench_history.default_thresholds
+
+let run_perf_report hosts pings =
+  match Harmless.Perf_rig.run ~num_hosts:hosts ~pings () with
+  | Error msg ->
+      Printf.eprintf "perf rig failed: %s\n" msg;
+      exit 1
+  | Ok report -> print_string (Harmless.Perf_rig.attribution report)
+
+let run_perf_diff baseline current quick_tolerant =
+  let baseline = load_snapshot_or_die ~what:"baseline" baseline in
+  let current = load_snapshot_or_die ~what:"current" current in
+  let comparisons =
+    Telemetry.Bench_history.diff
+      ~thresholds:(thresholds_of ~quick_tolerant)
+      ~baseline ~current ()
+  in
+  print_string (Telemetry.Bench_history.render_table comparisons)
+
+let run_perf_check baseline current quick_tolerant =
+  let baseline = load_snapshot_or_die ~what:"baseline" baseline in
+  let current = load_snapshot_or_die ~what:"current" current in
+  let comparisons =
+    Telemetry.Bench_history.diff
+      ~thresholds:(thresholds_of ~quick_tolerant)
+      ~baseline ~current ()
+  in
+  print_string (Telemetry.Bench_history.render_table comparisons);
+  match Telemetry.Bench_history.regressions comparisons with
+  | [] -> print_endline "perf check: OK"
+  | regressed ->
+      Printf.printf "perf check: FAILED — %d benchmark(s) regressed\n"
+        (List.length regressed);
+      exit 3
+
+let perf_hosts_arg =
+  Arg.(value & opt int 4 & info [ "hosts" ] ~docv:"N" ~doc:"Hosts per deployment.")
+
+let perf_pings_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "pings" ] ~docv:"N" ~doc:"Measured pings per deployment (after warm-up).")
+
+let baseline_arg =
+  Arg.(
+    value & opt string "BENCH_baseline.json"
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Baseline bench snapshot: a $(b,bench --json) file or a JSONL \
+           history (newest entry wins).")
+
+let current_arg =
+  Arg.(
+    value & opt string "BENCH_results.json"
+    & info [ "current" ] ~docv:"FILE" ~doc:"Current bench snapshot (same formats).")
+
+let quick_tolerant_arg =
+  Arg.(
+    value & flag
+    & info [ "quick-tolerant" ]
+        ~doc:
+          "Widen the noise thresholds for $(b,--quick) bench runs (60% \
+           relative + 25 ns absolute, vs the default 15% + 2 ns).")
+
+let perf_report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"profile the HARMLESS walk and attribute e2e latency to stages"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the deterministic profiling rig: a HARMLESS deployment \
+              and a direct-OpenFlow control group, warmed up, driven with \
+              identical traced ping sequences on the simulation clock.  \
+              Prints a per-stage attribution table for each (stage \
+              p50/p95/p99 and share of the summed p50s — which tile the \
+              measured end-to-end p50 exactly) and the HARMLESS-vs-direct \
+              overhead ratio.  Byte-identical across runs for fixed flags.";
+         ])
+    Term.(const run_perf_report $ perf_hosts_arg $ perf_pings_arg)
+
+let perf_diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"compare two bench snapshots with noise-tolerant thresholds")
+    Term.(const run_perf_diff $ baseline_arg $ current_arg $ quick_tolerant_arg)
+
+let perf_check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "gate on bench regressions: like diff, but exit status 3 when any \
+          benchmark exceeds its threshold")
+    Term.(const run_perf_check $ baseline_arg $ current_arg $ quick_tolerant_arg)
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:"per-stage cost attribution and bench-regression gating")
+    [ perf_report_cmd; perf_diff_cmd; perf_check_cmd ]
+
 (* ---- walkthrough ---- *)
 
 let run_walkthrough () =
@@ -608,6 +748,7 @@ let main =
     [
       cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
       trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd; fuzz_cmd;
+      perf_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -108,6 +108,7 @@ let packet_out t dpid ?in_port ~actions packet =
       ~ts_ns:(Simnet.Sim_time.to_ns (Simnet.Engine.now t.engine))
       ~component:"controller" ~layer:Telemetry.Trace.Controller
       ~stage:"packet_out" ?port:in_port
+      ~cycles:0 (* control-plane CPU is not part of the datapath model *)
       ~detail:(Printf.sprintf "dpid=%Ld actions=%d" dpid (List.length actions))
       packet;
   send t dpid (Of_message.Packet_out { in_port; actions; packet })
@@ -119,6 +120,7 @@ let dispatch_packet_in t dpid ~in_port reason packet =
       ~ts_ns:(Simnet.Sim_time.to_ns (Simnet.Engine.now t.engine))
       ~component:"controller" ~layer:Telemetry.Trace.Controller
       ~stage:"packet_in" ~port:in_port
+      ~cycles:0 (* control-plane CPU is not part of the datapath model *)
       ~detail:
         (Printf.sprintf "dpid=%Ld reason=%s" dpid
            (match reason with

@@ -209,6 +209,7 @@ type report = {
   recovered : bool;
   slo_evaluations : int;
   slo_breaches : (string * (int * int option) list) list;
+  stage_slis : (string * Telemetry.Profile.stats) list;
 }
 
 let retry_ops =
@@ -303,12 +304,43 @@ let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
     let probe_before = answered t in
     let n = Array.length t.hosts in
     let probe_pairs = n * (n - 1) in
-    for k = 0 to probe_pairs - 1 do
-      ping_pair t k
-    done;
-    Engine.run t.engine
-      ~until:(Sim_time.add (Engine.now t.engine) (Sim_time.ms 20));
+    (* The recovery probe runs under a trace collector so the report can
+       also say how long each forwarding stage took after healing — the
+       per-stage latency SLIs. *)
+    let (), probe_traces =
+      Telemetry.Trace.with_collector (fun _collector ->
+          for k = 0 to probe_pairs - 1 do
+            ping_pair t k
+          done;
+          Engine.run t.engine
+            ~until:(Sim_time.add (Engine.now t.engine) (Sim_time.ms 20)))
+    in
     let probe_answered = answered t - probe_before in
+    let stage_slis =
+      let view =
+        Trace_view.make
+          ~legacy_trunk:
+            [
+              ( Legacy_switch.name t.legacy,
+                match Failover.active t.fo with
+                | `Primary -> n
+                | `Backup -> n + 1 );
+            ]
+          ~ss1:[ Soft_switch.name (ss1 t) ]
+          ~ss2:[ Soft_switch.name (ss2 t) ]
+          ()
+      in
+      let profile = Telemetry.Profile.create () in
+      Telemetry.Profile.record_traces
+        ~stage_of:(Trace_view.semantic view)
+        profile probe_traces;
+      List.filter_map
+        (fun stage ->
+          Option.map
+            (fun stats -> (stage, stats))
+            (Telemetry.Profile.stage_stats profile ~stage))
+        (Telemetry.Profile.stages profile)
+    in
     Ok
       {
         duration;
@@ -338,6 +370,7 @@ let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
           List.map
             (fun rule -> (rule, Telemetry.Alert.breaches alerts rule))
             (Telemetry.Alert.rules alerts);
+        stage_slis;
       }
 
 let pp_report ppf r =
@@ -373,6 +406,16 @@ let pp_report ppf r =
   let total_breaches =
     List.fold_left (fun acc (_, ws) -> acc + List.length ws) 0 r.slo_breaches
   in
+  if r.stage_slis <> [] then begin
+    fprintf ppf "  recovery-probe stage SLIs (p50/p95):@,";
+    List.iter
+      (fun (stage, (s : Telemetry.Profile.stats)) ->
+        fprintf ppf "    %-28s %a / %a  (%d samples)@," stage
+          Telemetry.Trace.pp_time s.Telemetry.Profile.p50
+          Telemetry.Trace.pp_time s.Telemetry.Profile.p95
+          s.Telemetry.Profile.count)
+      r.stage_slis
+  end;
   fprintf ppf "  SLO: %d breach window(s) across %d evaluations@,"
     total_breaches r.slo_evaluations;
   List.iter

@@ -87,6 +87,10 @@ type report = {
           resolved_at_ns)] — [None] = still firing at the end.  Rules:
           ["control-channel-up"] (channel observed disconnected) and
           ["probe-liveness"] (ping answers stalled for 3 ms). *)
+  stage_slis : (string * Telemetry.Profile.stats) list;
+      (** per-stage latency SLIs (ns) folded from the traced recovery
+          probe, stages in first-appearance order along the walk — how
+          the healed datapath performs, not just whether it answers. *)
 }
 
 val run :

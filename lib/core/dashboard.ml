@@ -7,6 +7,8 @@ type t = {
   dpid : int64;
   poller : Sdnctl.Stats_poller.t;
   alerts : Telemetry.Alert.t;
+  view : Trace_view.t;
+  profile : Telemetry.Profile.t;
   mutable pings : int;
 }
 
@@ -60,7 +62,18 @@ let demo ?(num_hosts = 4) ?(poll_period = Sim_time.ms 10) () =
        (fun now_ns ->
          Some (aggregate_rx_rate poller now_ns ~window:(Sim_time.ms 30))))
     (Telemetry.Alert.Above 1.0);
-  Ok { engine; deployment; ctrl; dpid; poller; alerts; pings = 0 }
+  Ok
+    {
+      engine;
+      deployment;
+      ctrl;
+      dpid;
+      poller;
+      alerts;
+      view = Trace_view.of_deployment deployment;
+      profile = Telemetry.Profile.create ();
+      pings = 0;
+    }
 
 let ping_pair t k =
   let n = Deployment.num_hosts t.deployment in
@@ -90,7 +103,15 @@ let advance t span =
       if Sim_time.( <= ) now stop then
         Telemetry.Alert.eval t.alerts ~now_ns:(Sim_time.to_ns now);
       Sim_time.( < ) now stop);
-  Engine.run t.engine ~until:stop
+  (* The run happens under a trace collector so the probe traffic also
+     feeds the per-stage latency profile behind [render_stages]. *)
+  let (), traces =
+    Telemetry.Trace.with_collector (fun _collector ->
+        Engine.run t.engine ~until:stop)
+  in
+  Telemetry.Profile.record_traces
+    ~stage_of:(Trace_view.semantic t.view)
+    t.profile traces
 
 (* ---- rendering ---- *)
 
@@ -170,6 +191,17 @@ let render_top ?(top_n = 5) ?(window = Sim_time.ms 30) t =
     (List.length (Telemetry.Alert.rules t.alerts))
     (if firing = [] then "none" else String.concat ", " firing);
   add "%s" (Format.asprintf "%a" Telemetry.Alert.pp t.alerts);
+  Buffer.contents buf
+
+let render_stages t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "per-stage latency SLIs — t=%s, %d traced packet(s)\n"
+    (Format.asprintf "%a" Sim_time.pp (Engine.now t.engine))
+    (Telemetry.Profile.traces_recorded t.profile);
+  if Telemetry.Profile.traces_recorded t.profile = 0 then
+    add "no traced traffic yet — advance the dashboard first\n"
+  else add "%s" (Telemetry.Profile.attribution_table t.profile);
   Buffer.contents buf
 
 let render_alerts t =

@@ -42,3 +42,10 @@ val render_top : ?top_n:int -> ?window:Simnet.Sim_time.span -> t -> string
 val render_alerts : t -> string
 (** The alert engine in full: every rule with its state, then the
     complete transition log, oldest first. *)
+
+val render_stages : t -> string
+(** Per-stage latency SLIs: the {!Telemetry.Profile} attribution table
+    folded from every packet traced during {!advance} — where the probe
+    traffic's end-to-end time goes, stage by stage.  [advance] runs
+    under a trace collector, so this works out of the box; before any
+    [advance] the frame says so instead of rendering an empty table. *)

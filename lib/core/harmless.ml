@@ -18,7 +18,10 @@
     - {!Transparency}: the checker for the paper's central property —
       the controller cannot tell HARMLESS from a real OpenFlow switch;
     - {!Trace_view}: renders telemetry hop traces in the paper's
-      vocabulary (tag push, SS_1 translate, hairpin, tag pop). *)
+      vocabulary (tag push, SS_1 translate, hairpin, tag pop);
+    - {!Perf_rig}: the deterministic profiling rig behind
+      [harmlessctl perf] — per-stage cost attribution for the HARMLESS
+      walk against a direct-OpenFlow control group. *)
 
 module Port_map = Port_map
 module Translator = Translator
@@ -30,3 +33,4 @@ module Chaos = Chaos
 module Dashboard = Dashboard
 module Transparency = Transparency
 module Trace_view = Trace_view
+module Perf_rig = Perf_rig

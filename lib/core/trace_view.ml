@@ -19,6 +19,10 @@ type t = {
 let plain =
   { legacy_trunk = []; ss1 = []; ss2 = []; ss1_trunk = Translator.trunk_port }
 
+let make ?(legacy_trunk = []) ?(ss1 = []) ?(ss2 = [])
+    ?(ss1_trunk = Translator.trunk_port) () =
+  { legacy_trunk; ss1; ss2; ss1_trunk }
+
 let of_deployment (d : Deployment.t) =
   match d.Deployment.kind with
   | Deployment.Legacy_only { legacy; _ } ->

@@ -16,6 +16,19 @@ val of_deployment : Deployment.t -> t
 (** Learn switch roles (which devices are legacy / SS_1 / SS_2, which
     ports are trunks) from a deployment. *)
 
+val make :
+  ?legacy_trunk:(string * int) list ->
+  ?ss1:string list ->
+  ?ss2:string list ->
+  ?ss1_trunk:int ->
+  unit ->
+  t
+(** Assemble a view from explicit role assignments, for rigs that wire
+    their topology by hand (e.g. {!Chaos}): [legacy_trunk] maps each
+    legacy switch name to its trunk port, [ss1]/[ss2] name the software
+    switches, [ss1_trunk] is SS_1's trunk-facing port (default
+    {!Translator.trunk_port}). *)
+
 val semantic : t -> Telemetry.Trace.hop -> string option
 (** Canonical step name for a hop, e.g. ["tag-push"], ["translate"],
     ["hairpin"], ["tag-pop"]; [None] for hops the view cannot place.

@@ -1,6 +1,13 @@
 open Simnet
 open Netpkt
 
+(* Modelled per-stage forwarding costs, in CPU-equivalent cycles at the
+   trace clock — what this switch's Trace hops report.  The legacy box
+   is an ASIC, so these are small constants, not measured work; the
+   full cycle-model table lives in Telemetry.Trace's interface. *)
+let ingress_cycles = 90 (* VLAN classify + MAC learn + lookup *)
+let tag_rewrite_cycles = 12 (* one 802.1Q push or pop *)
+
 type storm_bucket = {
   pps : int;
   mutable tokens : float;
@@ -134,6 +141,7 @@ let egress t ~port ~vlan ~had_tag inner =
             ~component:t.name ~layer:Telemetry.Trace.Legacy
             ~stage:(if had_tag then "tag_pop" else "egress")
             ~port
+            ~cycles:(if had_tag then tag_rewrite_cycles else 0)
             ~detail:(Printf.sprintf "vlan=%d untagged delivery" vlan)
             inner;
         Node.transmit t.node ~port inner;
@@ -144,7 +152,7 @@ let egress t ~port ~vlan ~had_tag inner =
           Telemetry.Trace.emit
             ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
             ~component:t.name ~layer:Telemetry.Trace.Legacy ~stage:"tag_push"
-            ~port
+            ~port ~cycles:tag_rewrite_cycles
             ~detail:(Printf.sprintf "vid=%d" vid)
             tagged;
         Node.transmit t.node ~port tagged;
@@ -165,7 +173,7 @@ let forward t ~in_port (pkt : Packet.t) =
         Telemetry.Trace.emit
           ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
           ~component:t.name ~layer:Telemetry.Trace.Legacy ~stage:"ingress"
-          ~port:in_port
+          ~port:in_port ~cycles:ingress_cycles
           ~detail:
             (Printf.sprintf "vlan=%d %s" vlan
                (if had_tag then "(tagged)" else "(access)"))

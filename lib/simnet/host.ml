@@ -29,7 +29,8 @@ let send t pkt =
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.emit
       ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
-      ~component:t.name ~layer:Telemetry.Trace.Host ~stage:"tx" ~port:0 pkt;
+      ~component:t.name ~layer:Telemetry.Trace.Host ~stage:"tx" ~port:0
+      ~cycles:0 (* endpoint stack cost is out of scope for the model *) pkt;
   Node.transmit t.node ~port:0 pkt
 let enable_udp_echo t ~port = t.udp_echo_ports <- port :: t.udp_echo_ports
 let serve_http t ~pages = t.pages <- Some pages
@@ -163,7 +164,8 @@ let handle t pkt =
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.emit
       ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
-      ~component:t.name ~layer:Telemetry.Trace.Host ~stage:"rx" ~port:0 pkt;
+      ~component:t.name ~layer:Telemetry.Trace.Host ~stage:"rx" ~port:0
+      ~cycles:0 (* endpoint stack cost is out of scope for the model *) pkt;
   t.rx_log <- pkt :: t.rx_log;
   List.iter (fun f -> f pkt) t.user_rx;
   match pkt.Packet.l3 with

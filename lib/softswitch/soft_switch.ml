@@ -1,6 +1,14 @@
 open Simnet
 open Openflow
 
+(* Modelled per-stage costs (CPU cycles) reported by this switch's Trace
+   hops for work the PMD batch model does not already cover; the
+   "pipeline" stage reports the dataplane's measured cycles instead.
+   The full cycle-model table lives in Telemetry.Trace's interface. *)
+let tx_cycles = 20 (* egress queueing + descriptor write-back *)
+let punt_cycles = 150 (* encapsulate as Packet_in, hand to channel *)
+let standalone_cycles = 120 (* local learning-switch slow path *)
+
 type dataplane_kind =
   | Linear
   | Ovs of Ovs_like.config
@@ -109,8 +117,8 @@ let trace_tx t ~port ~detail pkt =
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.emit
       ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
-      ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"tx" ~port ~detail
-      pkt
+      ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"tx" ~port
+      ~cycles:tx_cycles ~detail pkt
 
 let resolve_outputs t ~in_port outputs =
   let ports = Node.port_count t.node in
@@ -148,7 +156,8 @@ let resolve_outputs t ~in_port outputs =
               Telemetry.Trace.emit
                 ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
                 ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"punt"
-                ~port:in_port ~detail:"output:controller" pkt;
+                ~port:in_port ~cycles:punt_cycles ~detail:"output:controller"
+                pkt;
             t.controller
               (Of_message.Packet_in
                  { in_port; reason = Of_message.Action_to_controller; packet = pkt })
@@ -164,7 +173,8 @@ let standalone_forward t ~in_port pkt =
     Telemetry.Trace.emit
       ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
       ~component:t.name ~layer:Telemetry.Trace.Switch ~stage:"standalone"
-      ~port:in_port ~detail:"local L2 forwarding (controller unreachable)" pkt;
+      ~port:in_port ~cycles:standalone_cycles
+      ~detail:"local L2 forwarding (controller unreachable)" pkt;
   let flood () =
     for p = 0 to Node.port_count t.node - 1 do
       if p <> in_port then Node.transmit t.node ~port:p pkt
@@ -185,7 +195,8 @@ let handle_packet t ~in_port pkt =
   let now_ns = Sim_time.to_ns (Engine.now t.engine) in
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
-      ~layer:Telemetry.Trace.Switch ~stage:"rx" ~port:in_port pkt;
+      ~layer:Telemetry.Trace.Switch ~stage:"rx" ~port:in_port
+      ~cycles:(Pmd.config t.pmd).Pmd.per_packet_io_cycles pkt;
   let result, cycles = t.dataplane.Dataplane.process ~now_ns ~in_port pkt in
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
@@ -234,7 +245,7 @@ let handle_packet t ~in_port pkt =
   if not (Pmd.submit t.pmd ~cycles complete) then begin
     if Telemetry.Trace.enabled () then
       Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
-        ~layer:Telemetry.Trace.Switch ~stage:"drop" ~port:in_port
+        ~layer:Telemetry.Trace.Switch ~stage:"drop" ~port:in_port ~cycles:0
         ~detail:"rx ring full" pkt;
     Stats.Counter.incr (Node.counters t.node) "drop_rx_ring"
   end

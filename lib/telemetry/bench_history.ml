@@ -1,0 +1,245 @@
+(* Bench snapshots, the JSONL trajectory store, and the noise-tolerant
+   comparison behind `harmlessctl perf`. *)
+
+type row = {
+  name : string;
+  ns_per_run : float option;
+  r_square : float option;
+  runs : int;
+}
+
+type snapshot = { quick : bool; label : string; rows : row list }
+
+let snapshot_schema = "harmless-bench/1"
+let history_schema = "harmless-bench-history/1"
+
+(* ---- parsing ---- *)
+
+let row_of_json j =
+  match Json.member "name" j with
+  | Some (Json.Str name) ->
+      let fopt key = Option.bind (Json.member key j) Json.to_float_opt in
+      Ok
+        {
+          name;
+          ns_per_run = fopt "ns_per_run";
+          r_square = fopt "r_square";
+          runs =
+            Option.value ~default:0
+              (Option.bind (Json.member "runs" j) Json.to_int_opt);
+        }
+  | Some _ | None -> Error "result row without a \"name\" string"
+
+let snapshot_of_json j =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_string_opt with
+    | Some s when s = snapshot_schema || s = history_schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "unknown schema %S" s)
+    | None -> Error "missing \"schema\""
+  in
+  let quick =
+    Option.value ~default:false
+      (Option.bind (Json.member "quick" j) Json.to_bool_opt)
+  in
+  let label =
+    Option.value ~default:""
+      (Option.bind (Json.member "label" j) Json.to_string_opt)
+  in
+  let* results =
+    match Option.bind (Json.member "results" j) Json.to_list_opt with
+    | Some items -> Ok items
+    | None -> Error "missing \"results\" array"
+  in
+  let* rows =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* row = row_of_json item in
+        Ok (row :: acc))
+      (Ok []) results
+  in
+  Ok { quick; label; rows = List.rev rows }
+
+let snapshot_of_string s =
+  Result.bind (Json.of_string s) snapshot_of_json
+
+(* ---- the JSONL store ---- *)
+
+let num f = if Float.is_nan f then Json.Null else Json.Float f
+
+let snapshot_to_history_line ?label snap =
+  let label = Option.value label ~default:snap.label in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str history_schema);
+         ("label", Json.Str label);
+         ("quick", Json.Bool snap.quick);
+         ( "results",
+           Json.Arr
+             (List.map
+                (fun r ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str r.name);
+                      ( "ns_per_run",
+                        match r.ns_per_run with Some f -> num f | None -> Json.Null
+                      );
+                      ( "r_square",
+                        match r.r_square with Some f -> num f | None -> Json.Null
+                      );
+                      ("runs", Json.Int r.runs);
+                    ])
+                snap.rows) );
+       ])
+
+let append ~path ?label snap =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (snapshot_to_history_line ?label snap);
+      output_char oc '\n')
+
+let load_history ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text ->
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' text)
+      in
+      List.fold_left
+        (fun acc line ->
+          Result.bind acc (fun snaps ->
+              match snapshot_of_string line with
+              | Ok s -> Ok (s :: snaps)
+              | Error e -> Error (Printf.sprintf "bad history line: %s" e)))
+        (Ok []) lines
+      |> Result.map List.rev
+
+let load_snapshot ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      (* A snapshot file is one document; a history file is one per
+         line — take the newest.  Try the whole file first so pretty-
+         printed snapshots also load. *)
+      match snapshot_of_string text with
+      | Ok s -> Ok s
+      | Error whole_err -> (
+          match
+            List.rev
+              (List.filter
+                 (fun l -> String.trim l <> "")
+                 (String.split_on_char '\n' text))
+          with
+          | last :: _ -> (
+              match snapshot_of_string last with
+              | Ok s -> Ok s
+              | Error _ -> Error whole_err)
+          | [] -> Error "empty file"))
+
+(* ---- comparison ---- *)
+
+type thresholds = { rel : float; abs_ns : float }
+
+let default_thresholds = { rel = 0.15; abs_ns = 2.0 }
+let quick_tolerant = { rel = 0.60; abs_ns = 25.0 }
+
+type verdict = Steady | Regressed | Improved | Added | Removed | No_data
+
+type comparison = {
+  cname : string;
+  baseline_ns : float option;
+  current_ns : float option;
+  ratio : float option;
+  cverdict : verdict;
+}
+
+let diff ?(thresholds = default_thresholds) ~baseline ~current () =
+  let module Smap = Map.Make (String) in
+  let index snap =
+    List.fold_left (fun m r -> Smap.add r.name r m) Smap.empty snap.rows
+  in
+  let base = index baseline and cur = index current in
+  let names =
+    Smap.fold (fun k _ acc -> Smap.add k () acc) base Smap.empty
+    |> fun m -> Smap.fold (fun k _ acc -> Smap.add k () acc) cur m
+  in
+  Smap.fold
+    (fun name () acc ->
+      let b = Smap.find_opt name base and c = Smap.find_opt name cur in
+      let bns = Option.bind b (fun r -> r.ns_per_run)
+      and cns = Option.bind c (fun r -> r.ns_per_run) in
+      let comparison =
+        match (b, c) with
+        | None, Some _ ->
+            { cname = name; baseline_ns = None; current_ns = cns;
+              ratio = None; cverdict = Added }
+        | Some _, None ->
+            { cname = name; baseline_ns = bns; current_ns = None;
+              ratio = None; cverdict = Removed }
+        | None, None -> assert false
+        | Some _, Some _ -> (
+            match (bns, cns) with
+            | Some b_ns, Some c_ns when b_ns > 0.0 ->
+                let ratio = c_ns /. b_ns in
+                let upper = (b_ns *. (1.0 +. thresholds.rel)) +. thresholds.abs_ns in
+                let lower = (b_ns *. (1.0 -. thresholds.rel)) -. thresholds.abs_ns in
+                let cverdict =
+                  if c_ns > upper then Regressed
+                  else if c_ns < lower then Improved
+                  else Steady
+                in
+                { cname = name; baseline_ns = bns; current_ns = cns;
+                  ratio = Some ratio; cverdict }
+            | _ ->
+                { cname = name; baseline_ns = bns; current_ns = cns;
+                  ratio = None; cverdict = No_data })
+      in
+      comparison :: acc)
+    names []
+  |> List.sort (fun a b -> String.compare a.cname b.cname)
+
+let regressions comparisons =
+  List.filter (fun c -> c.cverdict = Regressed) comparisons
+
+let verdict_name = function
+  | Steady -> "ok"
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | Added -> "new"
+  | Removed -> "gone"
+  | No_data -> "no data"
+
+let ns_str = function
+  | None -> "-"
+  | Some ns when Float.is_nan ns -> "-"
+  | Some ns -> Printf.sprintf "%.1f" ns
+
+let render_table comparisons =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-36s %12s %12s %7s  %s\n" "benchmark" "baseline(ns)" "current(ns)"
+    "ratio" "verdict";
+  add "%s\n" (String.make 80 '-');
+  List.iter
+    (fun c ->
+      add "%-36s %12s %12s %7s  %s\n" c.cname (ns_str c.baseline_ns)
+        (ns_str c.current_ns)
+        (match c.ratio with
+        | Some r -> Printf.sprintf "%.2fx" r
+        | None -> "-")
+        (verdict_name c.cverdict))
+    comparisons;
+  let count v = List.length (List.filter (fun c -> c.cverdict = v) comparisons) in
+  add "%s\n" (String.make 80 '-');
+  add
+    "%d benchmarks: %d ok, %d regressed, %d improved, %d new, %d gone, %d no data\n"
+    (List.length comparisons)
+    (count Steady) (count Regressed) (count Improved) (count Added)
+    (count Removed) (count No_data);
+  Buffer.contents buf

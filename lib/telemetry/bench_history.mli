@@ -1,0 +1,89 @@
+(** Bench-result trajectory: parse [bench --json] snapshots, append
+    them to a JSONL history store, and compare runs with
+    noise-tolerant thresholds — the regression gate behind
+    [harmlessctl perf report/diff/check].
+
+    A {e snapshot} is one bench run: the ["harmless-bench/1"] JSON
+    document `bench --json` writes ([{schema; quick; results: [{name;
+    ns_per_run; r_square; runs}]}]).  The history store is one snapshot
+    per line (schema ["harmless-bench-history/1"], the same object plus
+    a [label]), append-only, keyed by the benchmark names inside —
+    [group/test] strings like ["lookup/eswitch-1000"].
+
+    Comparison is deliberately tolerant: wall-clock microbenchmarks on
+    shared CI runners are noisy, so a test only counts as {e regressed}
+    when the current estimate exceeds
+    [baseline * (1 + rel) + abs_ns] — a relative band plus an absolute
+    floor that keeps sub-nanosecond benches from tripping the gate on
+    scheduler jitter.  [quick_tolerant] widens both for [--quick]
+    runs. *)
+
+type row = {
+  name : string;  (** ["group/test"] *)
+  ns_per_run : float option;  (** [None] when the estimate was null *)
+  r_square : float option;
+  runs : int;
+}
+
+type snapshot = {
+  quick : bool;
+  label : string;  (** empty for plain [bench --json] snapshots *)
+  rows : row list;
+}
+
+val snapshot_of_string : string -> (snapshot, string) result
+(** Parse one snapshot document (either schema). *)
+
+val snapshot_to_history_line : ?label:string -> snapshot -> string
+(** One ["harmless-bench-history/1"] JSONL line, no trailing newline. *)
+
+val load_snapshot : path:string -> (snapshot, string) result
+(** Read a [.json] snapshot {e or} a [.jsonl] history file — for a
+    history file, the newest (last) entry. *)
+
+val append : path:string -> ?label:string -> snapshot -> unit
+(** Append the snapshot to the JSONL store at [path] (created if
+    missing). *)
+
+val load_history : path:string -> (snapshot list, string) result
+(** Every entry, oldest first.  Blank lines are skipped; a malformed
+    line is an error. *)
+
+(** {2 Comparison} *)
+
+type thresholds = { rel : float; abs_ns : float }
+
+val default_thresholds : thresholds
+(** [{rel = 0.15; abs_ns = 2.0}] — full-quota runs. *)
+
+val quick_tolerant : thresholds
+(** [{rel = 0.60; abs_ns = 25.0}] — [--quick] runs measure for ~20 ms
+    per bench and jitter hard; the gate only catches step changes. *)
+
+type verdict =
+  | Steady  (** within the noise band *)
+  | Regressed
+  | Improved
+  | Added  (** no baseline entry *)
+  | Removed  (** no current entry *)
+  | No_data  (** an estimate was null on either side *)
+
+type comparison = {
+  cname : string;
+  baseline_ns : float option;
+  current_ns : float option;
+  ratio : float option;  (** current / baseline when both are present *)
+  cverdict : verdict;
+}
+
+val diff :
+  ?thresholds:thresholds -> baseline:snapshot -> current:snapshot ->
+  unit -> comparison list
+(** Row-wise comparison, sorted by name — deterministic for given
+    inputs. *)
+
+val regressions : comparison list -> comparison list
+
+val render_table : comparison list -> string
+(** Deterministic text table (name, baseline, current, ratio,
+    verdict), regressions flagged, followed by a one-line summary. *)

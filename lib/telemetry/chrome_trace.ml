@@ -23,7 +23,7 @@ let tids hops =
 
 let us_of_ns ns = float_of_int ns /. 1e3
 
-let to_json ?(cycles_per_us = 2400.0) hops =
+let to_json ?(cycles_per_us = 2400.0) ?(spans = []) hops =
   let tid_of, components = tids hops in
   let meta =
     List.map
@@ -67,13 +67,13 @@ let to_json ?(cycles_per_us = 2400.0) hops =
         ("args", Json.Obj args);
       ]
   in
-  Json.Arr (meta @ List.map event hops)
+  Json.Arr (meta @ List.map event hops @ Span.chrome_events spans)
 
-let to_string ?cycles_per_us hops =
-  Json.to_string_lines (to_json ?cycles_per_us hops)
+let to_string ?cycles_per_us ?spans hops =
+  Json.to_string_lines (to_json ?cycles_per_us ?spans hops)
 
-let save ?cycles_per_us hops ~path =
+let save ?cycles_per_us ?spans hops ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?cycles_per_us hops))
+    (fun () -> output_string oc (to_string ?cycles_per_us ?spans hops))

@@ -3,14 +3,18 @@
     The output is the plain JSON-array flavour of the trace-event
     format: ["thread_name"] metadata ("M") events naming one pseudo
     thread per emitting component, then one complete ("X") event per
-    hop with sim-time microsecond timestamps.  Load it in
-    chrome://tracing or https://ui.perfetto.dev. *)
+    hop with sim-time microsecond timestamps, then — when [spans] is
+    given — async ["b"]/["e"] pairs rendering the causal span tree
+    (see {!Span}) as per-packet tracks.  Load it in chrome://tracing
+    or https://ui.perfetto.dev. *)
 
-val to_json : ?cycles_per_us:float -> Trace.hop list -> Json.t
+val to_json : ?cycles_per_us:float -> ?spans:Span.t list -> Trace.hop list -> Json.t
 (** [cycles_per_us] converts hop cycle costs to event durations
-    (default 2400., i.e. a 2.4 GHz core); durations floor at 1 ns. *)
+    (default 2400., i.e. a 2.4 GHz core); durations floor at 1 ns.
+    [spans] (default none) appends {!Span.chrome_events}. *)
 
-val to_string : ?cycles_per_us:float -> Trace.hop list -> string
+val to_string : ?cycles_per_us:float -> ?spans:Span.t list -> Trace.hop list -> string
 (** One event per line, pinned by a golden test. *)
 
-val save : ?cycles_per_us:float -> Trace.hop list -> path:string -> unit
+val save :
+  ?cycles_per_us:float -> ?spans:Span.t list -> Trace.hop list -> path:string -> unit

@@ -67,6 +67,225 @@ let to_string t =
   write buf t;
   Buffer.contents buf
 
+(* ---- parsing ----
+
+   A strict recursive-descent parser for the same value model; enough
+   to read back our own exports (bench snapshots, history lines)
+   without a JSON dependency.  Numbers with a '.', exponent, or too
+   many digits for an int become [Float]; everything else integral
+   becomes [Int]. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> parse_error "expected '%c' at offset %d, found '%c'" c st.pos d
+  | None -> parse_error "expected '%c' at offset %d, found end of input" c st.pos
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" st.pos
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> parse_error "unterminated string at offset %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> parse_error "unterminated escape at offset %d" st.pos
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  parse_error "truncated \\u escape at offset %d" st.pos
+                else begin
+                  let hex = String.sub st.src st.pos 4 in
+                  st.pos <- st.pos + 4;
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | None -> parse_error "bad \\u escape %S" hex
+                  | Some code when code < 0x80 ->
+                      Buffer.add_char buf (Char.chr code)
+                  | Some code ->
+                      (* Re-encode the BMP code point as UTF-8. *)
+                      if code < 0x800 then begin
+                        Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                      end
+                      else begin
+                        Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                        Buffer.add_char buf
+                          (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                      end
+                end
+            | c -> parse_error "bad escape '\\%c'" c);
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') ->
+        advance st;
+        go ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_error "bad number %S at offset %d" text start
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> parse_error "bad number %S at offset %d" text start)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_error "unexpected end of input at offset %d" st.pos
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' ->
+      advance st;
+      Str (parse_string_body st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> parse_error "expected ',' or ']' at offset %d" st.pos
+        in
+        Arr (items [])
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          expect st '"';
+          let k = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev (kv :: acc)
+          | _ -> parse_error "expected ',' or '}' at offset %d" st.pos
+        in
+        Obj (fields [])
+      end
+  | Some c -> parse_error "unexpected character '%c' at offset %d" c st.pos
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_list_opt = function Arr items -> Some items | _ -> None
+
 (* Pretty printer with one array element (or object field) per line;
    used for the Chrome trace export so the file diffs readably. *)
 let to_string_lines = function

@@ -1,5 +1,6 @@
-(** Tiny dependency-free JSON printer used by the exposition formats.
-    Deterministic output: fields print exactly in the order given. *)
+(** Tiny dependency-free JSON printer and parser used by the exposition
+    formats and the bench-history store.  Deterministic output: fields
+    print exactly in the order given. *)
 
 type t =
   | Null
@@ -23,3 +24,22 @@ val to_string : t -> string
 val to_string_lines : t -> string
 (** Like {!to_string} but a top-level array prints one element per
     line, which keeps Chrome trace files reviewable. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON document (trailing whitespace allowed,
+    trailing garbage is an error).  Numbers without ['.'] or an
+    exponent that fit an OCaml [int] parse as [Int], all others as
+    [Float]; [\u] escapes re-encode as UTF-8. *)
+
+(** {2 Accessors} — shallow, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] for missing fields and non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -7,7 +7,34 @@
     they cross the fabric, so hops correlate on {!key_of_packet} — a
     hash of the frame with its VLAN stack stripped.  The HARMLESS tag
     push/pop/rewrite path preserves the key; L3-header rewrites start a
-    new trace and byte-identical frames share one. *)
+    new trace and byte-identical frames share one.
+
+    {2 Cycle model}
+
+    Every emit site reports a modelled per-packet processing cost via
+    [~cycles] — either a measured value, a fixed estimate, or an
+    {e explicit} [0] meaning "free by design in this model", never an
+    accidental default.  Costs are CPU-equivalent cycles at the trace
+    clock (the PMD's configured frequency, 2.6 GHz by default; for the
+    legacy ASIC they are CPU-equivalent figures, not real ASIC cycles).
+    The current model:
+
+    - Host [tx]/[rx]: [0] — endpoint stack cost is out of scope.
+    - Legacy [ingress]: [90] (VLAN classify + MAC learn + lookup);
+      [tag_push]/[tag_pop]: [12] each (one 802.1Q rewrite);
+      [egress] (delivery that never carried a tag): [0].
+    - Soft switch [rx]: the PMD's [per_packet_io_cycles] (50 by
+      default), consistent with the capacity model;
+      [pipeline]: the dataplane's {e measured} lookup cycles;
+      [tx]: [20] (egress queueing); [punt]: [150] (Packet_in
+      encapsulation); [standalone]: [120] (local L2 slow path);
+      [drop] (rx ring full): [0] — the cost was never spent.
+    - Controller [packet_in]/[packet_out]: [0] — control-plane CPU is
+      not part of the datapath model (its latency shows up in
+      sim-time, not cycles).
+
+    Profile/flame-graph tooling treats [cycles = 0] as "no self cost",
+    so stages stay visible in traces without skewing attribution. *)
 
 type layer =
   | Host

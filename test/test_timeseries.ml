@@ -133,6 +133,26 @@ let window_tests =
         let s = series [ (0, 1000.); (1_000_000_000, 0.) ] in
         check fopt "negative" (Some (-1000.))
           (Timeseries.rate_over s ~now_ns:1_000_000_000 ~window:2_000_000_000));
+    tc "window boundaries: now - window is included, beyond now is not"
+      (fun () ->
+        let s = series [ (10, 1.); (20, 2.); (30, 3.) ] in
+        (* lo = now - window exactly on a point: inclusive *)
+        check fopt "point at lo included" (Some 1.)
+          (Timeseries.min_over s ~now_ns:30 ~window:20);
+        (* shrink the window by 1: ts 10 and 20 fall below lo *)
+        check fopt "point below lo excluded" (Some 3.)
+          (Timeseries.min_over s ~now_ns:30 ~window:9);
+        (* a point after now (recorded, but the query looks at the past)
+           never enters the window *)
+        check fopt "future point excluded" (Some 2.)
+          (Timeseries.max_over s ~now_ns:20 ~window:100);
+        check fopt "avg ignores the future too" (Some 1.5)
+          (Timeseries.avg_over s ~now_ns:20 ~window:100);
+        (* zero-width window: exactly the points at now *)
+        check fopt "zero-width window" (Some 3.)
+          (Timeseries.min_over s ~now_ns:30 ~window:0);
+        check fopt "zero-width window off a point" None
+          (Timeseries.min_over s ~now_ns:25 ~window:0));
     tc "newest_age reports staleness" (fun () ->
         let s = series [ (10, 1.) ] in
         check (Alcotest.option Alcotest.int) "age" (Some 90)
@@ -213,6 +233,38 @@ let alert_tests =
         Timeseries.record s ~ts_ns:500_000_000 500.;
         eval_at a 500_000_000;
         check Alcotest.string "firing" "firing" (state_kind (Alert.state a "surge")));
+    tc "rate rule across a counter reset resolves instead of firing"
+      (fun () ->
+        (* A polled counter that restarts (switch crash) makes the
+           window's growth negative; Rate_above must read that as "not
+           above", so a firing rule resolves and a quiet one never
+           fires — pinned, because naively folding abs() here would
+           alarm on every restart. *)
+        let s = series [] in
+        let a = Alert.create () in
+        Alert.add_rule a ~name:"surge" (Alert.Series s)
+          (Alert.Rate_above { per_second = 100.; window = 2_500_000_000 });
+        Timeseries.record s ~ts_ns:0 0.;
+        Timeseries.record s ~ts_ns:1_000_000_000 5000.;
+        eval_at a 1_000_000_000;
+        check Alcotest.string "firing before the reset" "firing"
+          (state_kind (Alert.state a "surge"));
+        (* the counter restarts from zero *)
+        Timeseries.record s ~ts_ns:2_000_000_000 0.;
+        eval_at a 2_000_000_000;
+        check Alcotest.string "reset resolves the rule" "ok"
+          (state_kind (Alert.state a "surge"));
+        (* while the pre-reset peak is still inside the window the
+           measured growth is negative — not "above", so no alarm *)
+        Timeseries.record s ~ts_ns:3_000_000_000 900.;
+        eval_at a 3_000_000_000;
+        check Alcotest.string "negative rate stays ok" "ok"
+          (state_kind (Alert.state a "surge"));
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.option Alcotest.int)))
+          "one closed breach window"
+          [ (1_000_000_000, Some 2_000_000_000) ]
+          (Alert.breaches a "surge"));
     tc "absence rule: series silence and sampled None" (fun () ->
         let s = series [ (0, 1.) ] in
         let a = Alert.create () in
