@@ -7,6 +7,7 @@ type t = {
   dpid : int64;
   poller : Sdnctl.Stats_poller.t;
   alerts : Telemetry.Alert.t;
+  gcstats : Telemetry.Gcstats.t;
   view : Trace_view.t;
   profile : Telemetry.Profile.t;
   mutable pings : int;
@@ -15,6 +16,7 @@ type t = {
 let engine t = t.engine
 let poller t = t.poller
 let alerts t = t.alerts
+let gcstats t = t.gcstats
 let now_ns t = Sim_time.to_ns (Engine.now t.engine)
 
 let aggregate_rx_rate poller now_ns ~window =
@@ -32,6 +34,7 @@ let aggregate_rx_rate poller now_ns ~window =
 let demo ?(num_hosts = 4) ?(poll_period = Sim_time.ms 10) () =
   let ( let* ) = Result.bind in
   let engine = Engine.create () in
+  Engine.enable_telemetry ~sample_every:16 engine;
   let* deployment = Deployment.build_harmless engine ~num_hosts () in
   let ctrl = Sdnctl.Controller.create engine () in
   Sdnctl.Controller.add_app ctrl (Sdnctl.L2_learning.create ());
@@ -62,6 +65,12 @@ let demo ?(num_hosts = 4) ?(poll_period = Sim_time.ms 10) () =
        (fun now_ns ->
          Some (aggregate_rx_rate poller now_ns ~window:(Sim_time.ms 30))))
     (Telemetry.Alert.Above 1.0);
+  let gcstats = Telemetry.Gcstats.create () in
+  (* The demo threshold is astronomically high on purpose: the rule's
+     job here is to show up in the alert roster with a live rate, not
+     to fire — keeping every golden frame deterministic. *)
+  Telemetry.Gcstats.add_alloc_rate_rule gcstats alerts
+    ~words_per_second:1e12 ~window:(Sim_time.ms 30) ();
   Ok
     {
       engine;
@@ -70,6 +79,7 @@ let demo ?(num_hosts = 4) ?(poll_period = Sim_time.ms 10) () =
       dpid;
       poller;
       alerts;
+      gcstats;
       view = Trace_view.of_deployment deployment;
       profile = Telemetry.Profile.create ();
       pings = 0;
@@ -100,8 +110,10 @@ let advance t span =
   traffic ();
   Engine.schedule_every t.engine (Sim_time.ms 2) (fun () ->
       let now = Engine.now t.engine in
-      if Sim_time.( <= ) now stop then
-        Telemetry.Alert.eval t.alerts ~now_ns:(Sim_time.to_ns now);
+      if Sim_time.( <= ) now stop then begin
+        Telemetry.Gcstats.sample t.gcstats ~ts_ns:(Sim_time.to_ns now);
+        Telemetry.Alert.eval t.alerts ~now_ns:(Sim_time.to_ns now)
+      end;
       Sim_time.( < ) now stop);
   (* The run happens under a trace collector so the probe traffic also
      feeds the per-stage latency profile behind [render_stages]. *)
@@ -186,6 +198,20 @@ let render_top ?(top_n = 5) ?(window = Sim_time.ms 30) t =
       (fun i (key, rate) -> add "  %d. %s  %s\n" (i + 1) (rate_str rate) key)
       flows
   end;
+  add "\n%s" (Telemetry.Gcstats.panel t.gcstats ~now_ns:now ~window);
+  (match
+     (Engine.queue_depth_series t.engine, Engine.scheduling_lag_series t.engine)
+   with
+  | Some depth, Some lag ->
+      let last series =
+        match Telemetry.Timeseries.last series with
+        | Some (_, v) -> Printf.sprintf "%.0f" v
+        | None -> "-"
+      in
+      add "engine: %d events, queue depth %s, sched lag %sns\n"
+        (Engine.events_executed t.engine)
+        (last depth) (last lag)
+  | _ -> ());
   let firing = Telemetry.Alert.firing t.alerts in
   add "\nalerts: %d rule(s), firing: %s\n"
     (List.length (Telemetry.Alert.rules t.alerts))

@@ -17,11 +17,15 @@ val demo :
   (t, string) result
 (** A 4-host (default) HARMLESS deployment with an L2-learning
     controller, a stats poller on the OpenFlow switch (default period
-    10 ms) and three alert rules: ["control-channel-up"] (channel
+    10 ms) and four alert rules: ["control-channel-up"] (channel
     observed disconnected), ["stats-freshness"] (no RTT sample for
-    50 ms) and ["dataplane-active"] (aggregate polled port receive rate
-    above 1 B/s — firing means traffic is flowing).  The control-plane
-    handshake has already settled; no traffic has been sent yet. *)
+    50 ms), ["dataplane-active"] (aggregate polled port receive rate
+    above 1 B/s — firing means traffic is flowing) and
+    ["gc-alloc-rate"] (allocation-rate watch with a deliberately
+    unreachable demo threshold, so the frame goldens stay
+    deterministic).  The engine's queue-depth/scheduling-lag telemetry
+    is on (every 16th event).  The control-plane handshake has already
+    settled; no traffic has been sent yet. *)
 
 val advance : t -> Simnet.Sim_time.span -> unit
 (** Run the deployment for a span of sim time: probe pings cycle
@@ -31,13 +35,22 @@ val advance : t -> Simnet.Sim_time.span -> unit
 val engine : t -> Simnet.Engine.t
 val poller : t -> Sdnctl.Stats_poller.t
 val alerts : t -> Telemetry.Alert.t
+
+val gcstats : t -> Telemetry.Gcstats.t
+(** The demo's GC sampler: fed from the live runtime every 2 ms of sim
+    time during {!advance}, watched by the (deliberately never-firing)
+    ["gc-alloc-rate"] demo rule. *)
+
 val now_ns : t -> int
 
 val render_top : ?top_n:int -> ?window:Simnet.Sim_time.span -> t -> string
 (** One [top] frame: header (sim time, datapath, channel state, poll
     and reply counts, last control RTT), per-port rx/tx rate bars over
     [window] (default 30 ms, bars scaled to the busiest port), the
-    [top_n] (default 5) flows by byte rate, and the alert summary. *)
+    [top_n] (default 5) flows by byte rate, a GC panel line (live
+    runtime numbers — the one nondeterministic line in the frame), an
+    engine line (events executed, sampled queue depth and scheduling
+    lag), and the alert summary. *)
 
 val render_alerts : t -> string
 (** The alert engine in full: every rule with its state, then the

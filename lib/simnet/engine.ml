@@ -1,10 +1,43 @@
+(* Opt-in scheduler self-observation: queue depth and scheduling lag
+   (how far the clock jumps to reach the next event) as time series,
+   sampled every [sample_every]-th dispatch so a 10^7-event run doesn't
+   drown in its own telemetry. *)
+type telemetry = {
+  queue_depth : Telemetry.Timeseries.t;
+  sched_lag : Telemetry.Timeseries.t;
+  sample_every : int;
+}
+
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : Sim_time.t;
   mutable executed : int;
+  mutable telemetry : telemetry option;
 }
 
-let create () = { queue = Event_queue.create (); clock = Sim_time.zero; executed = 0 }
+let create () =
+  {
+    queue = Event_queue.create ();
+    clock = Sim_time.zero;
+    executed = 0;
+    telemetry = None;
+  }
+
+let enable_telemetry ?(sample_every = 1) ?(capacity = 4096) t =
+  if sample_every <= 0 then
+    invalid_arg "Engine.enable_telemetry: sample_every must be positive";
+  t.telemetry <-
+    Some
+      {
+        queue_depth =
+          Telemetry.Timeseries.create ~capacity ~name:"engine_queue_depth" ();
+        sched_lag =
+          Telemetry.Timeseries.create ~capacity ~name:"engine_sched_lag_ns" ();
+        sample_every;
+      }
+
+let queue_depth_series t = Option.map (fun m -> m.queue_depth) t.telemetry
+let scheduling_lag_series t = Option.map (fun m -> m.sched_lag) t.telemetry
 let now t = t.clock
 
 let schedule_at t time f =
@@ -27,9 +60,19 @@ let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, f) ->
+      (match t.telemetry with
+      | Some m when t.executed mod m.sample_every = 0 ->
+          let ts_ns = Sim_time.to_ns time in
+          Telemetry.Timeseries.record m.queue_depth ~ts_ns
+            (float_of_int (Event_queue.length t.queue));
+          Telemetry.Timeseries.record m.sched_lag ~ts_ns
+            (float_of_int (ts_ns - Sim_time.to_ns t.clock))
+      | Some _ | None -> ());
       t.clock <- time;
       t.executed <- t.executed + 1;
+      let mark = Alloc_probe.mark () in
       f ();
+      Alloc_probe.record "engine.dispatch" mark;
       true
 
 let run ?until ?max_events t =
@@ -61,4 +104,14 @@ let publish_metrics ?registry ?labels t =
   in
   set "sim_now_ns" (Sim_time.to_ns t.clock);
   set "sim_events_executed" t.executed;
-  set "sim_events_pending" (Event_queue.length t.queue)
+  set "sim_events_pending" (Event_queue.length t.queue);
+  match t.telemetry with
+  | None -> ()
+  | Some m ->
+      let last_of series name =
+        match Telemetry.Timeseries.last series with
+        | Some (_, v) -> set name (int_of_float v)
+        | None -> ()
+      in
+      last_of m.queue_depth "sim_queue_depth_sampled";
+      last_of m.sched_lag "sim_sched_lag_ns"

@@ -38,9 +38,27 @@ val pending : t -> int
 val events_executed : t -> int
 (** Total events executed since creation. *)
 
+val enable_telemetry : ?sample_every:int -> ?capacity:int -> t -> unit
+(** Turn on scheduler self-observation: every [sample_every]-th (default
+    1) dispatch records the queue depth after the pop and the scheduling
+    lag — how far the clock jumps to reach the event, i.e. how idle the
+    simulated system was — into two ring-buffer time series (default
+    [capacity] 4096 points) timestamped with the event's own instant.
+    Calling it again replaces the series.
+    @raise Invalid_argument if [sample_every <= 0]. *)
+
+val queue_depth_series : t -> Telemetry.Timeseries.t option
+(** The sampled queue-depth series; [None] until {!enable_telemetry}. *)
+
+val scheduling_lag_series : t -> Telemetry.Timeseries.t option
+(** The sampled scheduling-lag series (ns per jump); [None] until
+    {!enable_telemetry}. *)
+
 val publish_metrics :
   ?registry:Telemetry.Registry.t -> ?labels:Telemetry.Registry.labels ->
   t -> unit
 (** Snapshot the engine's state ([sim_now_ns], [sim_events_executed],
-    [sim_events_pending]) into gauges.  Pull-based: call it when a
-    metrics export is wanted; nothing is recorded otherwise. *)
+    [sim_events_pending] — plus, once {!enable_telemetry} is on and has
+    sampled, [sim_queue_depth_sampled] and [sim_sched_lag_ns]) into
+    gauges.  Pull-based: call it when a metrics export is wanted;
+    nothing is recorded otherwise. *)

@@ -221,6 +221,7 @@ let create pipeline =
     Option.map snd !best
   in
   let process ~now_ns ~in_port pkt =
+    let m = Alloc_probe.mark () in
     let v = Pipeline.version pipeline in
     if v <> !seen_version then begin
       seen_version := v;
@@ -236,6 +237,7 @@ let create pipeline =
       + (!residual_scans * Dataplane.Cost.linear_per_entry)
       + Dataplane.cycles_of_result result
     in
+    Alloc_probe.record "lookup.eswitch" m;
     (result, cycles)
   in
   let stats () =

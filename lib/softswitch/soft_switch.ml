@@ -410,7 +410,10 @@ let publish_metrics ?registry ?(labels = []) t =
       ])
 
 let process_direct t ~now_ns ~in_port pkt =
-  t.dataplane.Dataplane.process ~now_ns ~in_port pkt
+  let m = Alloc_probe.mark () in
+  let out = t.dataplane.Dataplane.process ~now_ns ~in_port pkt in
+  Alloc_probe.record "switch.process" m;
+  out
 
 let next_dpid = ref 0L
 

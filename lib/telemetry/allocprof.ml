@@ -1,0 +1,56 @@
+include Alloc_probe
+
+type site_stats = { count : int; p50 : int; p95 : int; max : int; total : int }
+
+let nearest_rank sorted n p =
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let stats t site =
+  match samples t site with
+  | [||] -> None
+  | data ->
+      let sorted = Array.copy data in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      Some
+        {
+          count = n;
+          p50 = nearest_rank sorted n 50.0;
+          p95 = nearest_rank sorted n 95.0;
+          max = sorted.(n - 1);
+          total = Array.fold_left ( + ) 0 sorted;
+        }
+
+let table t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-20s %8s %10s %10s %10s %12s\n" "site" "count" "p50(w)" "p95(w)"
+    "max(w)" "total(w)";
+  add "%s\n" (String.make 75 '-');
+  let grand = ref 0 in
+  List.iter
+    (fun site ->
+      match stats t site with
+      | None -> ()
+      | Some s ->
+          grand := !grand + s.total;
+          add "%-20s %8d %10d %10d %10d %12d\n" site s.count s.p50 s.p95 s.max
+            s.total)
+    (sites t);
+  add "%s\n" (String.make 75 '-');
+  add "%d probe samples, %d words recorded\n" (count t) !grand;
+  Buffer.contents buf
+
+let publish ?(registry = Registry.default) ?(prefix = "harmless") t =
+  List.iter
+    (fun site ->
+      let h =
+        Registry.Histogram.v ~registry
+          ~labels:[ ("site", site) ]
+          (prefix ^ "_alloc_words")
+      in
+      Array.iter (fun w -> Registry.Histogram.observe h w) (samples t site))
+    (sites t)

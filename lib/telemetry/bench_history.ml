@@ -4,14 +4,24 @@
 type row = {
   name : string;
   ns_per_run : float option;
+  minor_words_per_run : float option;
   r_square : float option;
   runs : int;
 }
 
 type snapshot = { quick : bool; label : string; rows : row list }
 
-let snapshot_schema = "harmless-bench/1"
-let history_schema = "harmless-bench-history/1"
+let snapshot_schema = "harmless-bench/2"
+let history_schema = "harmless-bench-history/2"
+
+(* v1 documents (no minor_words_per_run) still load: their alloc
+   columns read as None and diff against them yields No_data alloc
+   verdicts, never a spurious regression. *)
+let known_schemas =
+  [
+    snapshot_schema; history_schema; "harmless-bench/1";
+    "harmless-bench-history/1";
+  ]
 
 (* ---- parsing ---- *)
 
@@ -23,6 +33,7 @@ let row_of_json j =
         {
           name;
           ns_per_run = fopt "ns_per_run";
+          minor_words_per_run = fopt "minor_words_per_run";
           r_square = fopt "r_square";
           runs =
             Option.value ~default:0
@@ -34,7 +45,7 @@ let snapshot_of_json j =
   let ( let* ) = Result.bind in
   let* () =
     match Option.bind (Json.member "schema" j) Json.to_string_opt with
-    | Some s when s = snapshot_schema || s = history_schema -> Ok ()
+    | Some s when List.mem s known_schemas -> Ok ()
     | Some s -> Error (Printf.sprintf "unknown schema %S" s)
     | None -> Error "missing \"schema\""
   in
@@ -86,6 +97,10 @@ let snapshot_to_history_line ?label snap =
                       ( "ns_per_run",
                         match r.ns_per_run with Some f -> num f | None -> Json.Null
                       );
+                      ( "minor_words_per_run",
+                        match r.minor_words_per_run with
+                        | Some f -> num f
+                        | None -> Json.Null );
                       ( "r_square",
                         match r.r_square with Some f -> num f | None -> Json.Null
                       );
@@ -144,10 +159,18 @@ let load_snapshot ~path =
 
 (* ---- comparison ---- *)
 
-type thresholds = { rel : float; abs_ns : float }
+type thresholds = {
+  rel : float;
+  abs_ns : float;
+  alloc_rel : float;
+  alloc_abs_words : float;
+}
 
-let default_thresholds = { rel = 0.15; abs_ns = 2.0 }
-let quick_tolerant = { rel = 0.60; abs_ns = 25.0 }
+let default_thresholds =
+  { rel = 0.15; abs_ns = 2.0; alloc_rel = 0.10; alloc_abs_words = 8.0 }
+
+let quick_tolerant =
+  { rel = 0.60; abs_ns = 25.0; alloc_rel = 0.25; alloc_abs_words = 64.0 }
 
 type verdict = Steady | Regressed | Improved | Added | Removed | No_data
 
@@ -156,8 +179,39 @@ type comparison = {
   baseline_ns : float option;
   current_ns : float option;
   ratio : float option;
+  baseline_words : float option;
+  current_words : float option;
+  words_ratio : float option;
+  time_verdict : verdict;
+  alloc_verdict : verdict;
   cverdict : verdict;
 }
+
+(* One dimension (time or alloc): Regressed/Improved/Steady against a
+   relative band plus an absolute floor, No_data when either estimate
+   is missing or non-positive. *)
+let band_verdict ~rel ~abs b c =
+  match (b, c) with
+  | Some b_v, Some c_v when b_v > 0.0 ->
+      let upper = (b_v *. (1.0 +. rel)) +. abs in
+      let lower = (b_v *. (1.0 -. rel)) -. abs in
+      if c_v > upper then Regressed
+      else if c_v < lower then Improved
+      else Steady
+  | _ -> No_data
+
+(* A regression on either axis is a regression; otherwise the strongest
+   signal wins, and only all-No_data stays No_data. *)
+let combine tv av =
+  if tv = Regressed || av = Regressed then Regressed
+  else if tv = Improved || av = Improved then Improved
+  else if tv = Steady || av = Steady then Steady
+  else No_data
+
+let ratio_of b c =
+  match (b, c) with
+  | Some b_v, Some c_v when b_v > 0.0 -> Some (c_v /. b_v)
+  | _ -> None
 
 let diff ?(thresholds = default_thresholds) ~baseline ~current () =
   let module Smap = Map.Make (String) in
@@ -173,32 +227,38 @@ let diff ?(thresholds = default_thresholds) ~baseline ~current () =
     (fun name () acc ->
       let b = Smap.find_opt name base and c = Smap.find_opt name cur in
       let bns = Option.bind b (fun r -> r.ns_per_run)
-      and cns = Option.bind c (fun r -> r.ns_per_run) in
+      and cns = Option.bind c (fun r -> r.ns_per_run)
+      and bw = Option.bind b (fun r -> r.minor_words_per_run)
+      and cw = Option.bind c (fun r -> r.minor_words_per_run) in
+      let mk verdicts =
+        let time_verdict, alloc_verdict, cverdict = verdicts in
+        {
+          cname = name;
+          baseline_ns = bns;
+          current_ns = cns;
+          ratio = ratio_of bns cns;
+          baseline_words = bw;
+          current_words = cw;
+          words_ratio = ratio_of bw cw;
+          time_verdict;
+          alloc_verdict;
+          cverdict;
+        }
+      in
       let comparison =
         match (b, c) with
-        | None, Some _ ->
-            { cname = name; baseline_ns = None; current_ns = cns;
-              ratio = None; cverdict = Added }
-        | Some _, None ->
-            { cname = name; baseline_ns = bns; current_ns = None;
-              ratio = None; cverdict = Removed }
+        | None, Some _ -> mk (Added, Added, Added)
+        | Some _, None -> mk (Removed, Removed, Removed)
         | None, None -> assert false
-        | Some _, Some _ -> (
-            match (bns, cns) with
-            | Some b_ns, Some c_ns when b_ns > 0.0 ->
-                let ratio = c_ns /. b_ns in
-                let upper = (b_ns *. (1.0 +. thresholds.rel)) +. thresholds.abs_ns in
-                let lower = (b_ns *. (1.0 -. thresholds.rel)) -. thresholds.abs_ns in
-                let cverdict =
-                  if c_ns > upper then Regressed
-                  else if c_ns < lower then Improved
-                  else Steady
-                in
-                { cname = name; baseline_ns = bns; current_ns = cns;
-                  ratio = Some ratio; cverdict }
-            | _ ->
-                { cname = name; baseline_ns = bns; current_ns = cns;
-                  ratio = None; cverdict = No_data })
+        | Some _, Some _ ->
+            let tv =
+              band_verdict ~rel:thresholds.rel ~abs:thresholds.abs_ns bns cns
+            in
+            let av =
+              band_verdict ~rel:thresholds.alloc_rel
+                ~abs:thresholds.alloc_abs_words bw cw
+            in
+            mk (tv, av, combine tv av)
       in
       comparison :: acc)
     names []
@@ -220,23 +280,37 @@ let ns_str = function
   | Some ns when Float.is_nan ns -> "-"
   | Some ns -> Printf.sprintf "%.1f" ns
 
+let ratio_str = function
+  | Some r -> Printf.sprintf "%.2fx" r
+  | None -> "-"
+
+(* The overall verdict, annotated with the regressing axis so a table
+   line says not just that a benchmark regressed but in what. *)
+let verdict_str c =
+  match c.cverdict with
+  | Regressed ->
+      let axes =
+        (if c.time_verdict = Regressed then [ "time" ] else [])
+        @ if c.alloc_verdict = Regressed then [ "alloc" ] else []
+      in
+      Printf.sprintf "REGRESSED(%s)" (String.concat "+" axes)
+  | v -> verdict_name v
+
 let render_table comparisons =
-  let buf = Buffer.create 1024 in
+  let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "%-36s %12s %12s %7s  %s\n" "benchmark" "baseline(ns)" "current(ns)"
-    "ratio" "verdict";
-  add "%s\n" (String.make 80 '-');
+  add "%-36s %12s %12s %7s %10s %10s %7s  %s\n" "benchmark" "baseline(ns)"
+    "current(ns)" "ratio" "base(wds)" "cur(wds)" "ratio" "verdict";
+  add "%s\n" (String.make 110 '-');
   List.iter
     (fun c ->
-      add "%-36s %12s %12s %7s  %s\n" c.cname (ns_str c.baseline_ns)
-        (ns_str c.current_ns)
-        (match c.ratio with
-        | Some r -> Printf.sprintf "%.2fx" r
-        | None -> "-")
-        (verdict_name c.cverdict))
+      add "%-36s %12s %12s %7s %10s %10s %7s  %s\n" c.cname
+        (ns_str c.baseline_ns) (ns_str c.current_ns) (ratio_str c.ratio)
+        (ns_str c.baseline_words) (ns_str c.current_words)
+        (ratio_str c.words_ratio) (verdict_str c))
     comparisons;
   let count v = List.length (List.filter (fun c -> c.cverdict = v) comparisons) in
-  add "%s\n" (String.make 80 '-');
+  add "%s\n" (String.make 110 '-');
   add
     "%d benchmarks: %d ok, %d regressed, %d improved, %d new, %d gone, %d no data\n"
     (List.length comparisons)

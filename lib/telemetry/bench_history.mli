@@ -3,24 +3,32 @@
     noise-tolerant thresholds — the regression gate behind
     [harmlessctl perf report/diff/check].
 
-    A {e snapshot} is one bench run: the ["harmless-bench/1"] JSON
+    A {e snapshot} is one bench run: the ["harmless-bench/2"] JSON
     document `bench --json` writes ([{schema; quick; results: [{name;
-    ns_per_run; r_square; runs}]}]).  The history store is one snapshot
-    per line (schema ["harmless-bench-history/1"], the same object plus
-    a [label]), append-only, keyed by the benchmark names inside —
-    [group/test] strings like ["lookup/eswitch-1000"].
+    ns_per_run; minor_words_per_run; r_square; runs}]}]).  The history
+    store is one snapshot per line (schema ["harmless-bench-history/2"],
+    the same object plus a [label]), append-only, keyed by the benchmark
+    names inside — [group/test] strings like ["lookup/eswitch-1000"].
+    The v1 schemas (no [minor_words_per_run]) still parse; their alloc
+    columns read as [None] and compare as {!No_data}.
 
     Comparison is deliberately tolerant: wall-clock microbenchmarks on
     shared CI runners are noisy, so a test only counts as {e regressed}
     when the current estimate exceeds
     [baseline * (1 + rel) + abs_ns] — a relative band plus an absolute
     floor that keeps sub-nanosecond benches from tripping the gate on
-    scheduler jitter.  [quick_tolerant] widens both for [--quick]
-    runs. *)
+    scheduler jitter.  Allocation estimates get their own (tighter)
+    band: words/run is a property of the code path, not the scheduler,
+    so [alloc_rel]/[alloc_abs_words] can gate harder than wall clock.
+    [quick_tolerant] widens all four for [--quick] runs.  A regression
+    on {e either} axis makes the overall verdict [Regressed] — alloc
+    regressions gate exactly like latency regressions. *)
 
 type row = {
   name : string;  (** ["group/test"] *)
   ns_per_run : float option;  (** [None] when the estimate was null *)
+  minor_words_per_run : float option;
+      (** minor-heap words allocated per run; [None] for v1 rows *)
   r_square : float option;
   runs : int;
 }
@@ -35,7 +43,7 @@ val snapshot_of_string : string -> (snapshot, string) result
 (** Parse one snapshot document (either schema). *)
 
 val snapshot_to_history_line : ?label:string -> snapshot -> string
-(** One ["harmless-bench-history/1"] JSONL line, no trailing newline. *)
+(** One ["harmless-bench-history/2"] JSONL line, no trailing newline. *)
 
 val load_snapshot : path:string -> (snapshot, string) result
 (** Read a [.json] snapshot {e or} a [.jsonl] history file — for a
@@ -51,14 +59,23 @@ val load_history : path:string -> (snapshot list, string) result
 
 (** {2 Comparison} *)
 
-type thresholds = { rel : float; abs_ns : float }
+type thresholds = {
+  rel : float;  (** relative band on ns/run *)
+  abs_ns : float;  (** absolute floor on ns/run *)
+  alloc_rel : float;  (** relative band on minor words/run *)
+  alloc_abs_words : float;  (** absolute floor on minor words/run *)
+}
 
 val default_thresholds : thresholds
-(** [{rel = 0.15; abs_ns = 2.0}] — full-quota runs. *)
+(** [{rel = 0.15; abs_ns = 2.0; alloc_rel = 0.10; alloc_abs_words =
+    8.0}] — full-quota runs. *)
 
 val quick_tolerant : thresholds
-(** [{rel = 0.60; abs_ns = 25.0}] — [--quick] runs measure for ~20 ms
-    per bench and jitter hard; the gate only catches step changes. *)
+(** [{rel = 0.60; abs_ns = 25.0; alloc_rel = 0.25; alloc_abs_words =
+    64.0}] — [--quick] runs measure for ~20 ms per bench and jitter
+    hard; the gate only catches step changes.  The alloc band stays
+    tighter than the time band because allocation counts barely
+    jitter. *)
 
 type verdict =
   | Steady  (** within the noise band *)
@@ -73,7 +90,14 @@ type comparison = {
   baseline_ns : float option;
   current_ns : float option;
   ratio : float option;  (** current / baseline when both are present *)
+  baseline_words : float option;
+  current_words : float option;
+  words_ratio : float option;
+  time_verdict : verdict;  (** the ns/run axis alone *)
+  alloc_verdict : verdict;  (** the words/run axis alone *)
   cverdict : verdict;
+      (** overall: [Regressed] if either axis regressed, else the
+          strongest of the two signals ([No_data] only when both are) *)
 }
 
 val diff :

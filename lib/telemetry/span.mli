@@ -43,11 +43,21 @@ type t = {
   component : string;  (** emitting component; root/transit: [""] *)
   begin_ns : int;
   end_ns : int;  (** [>= begin_ns]; zero-width spans are allowed *)
+  begin_words : int;
+      (** cumulative minor words at span start (see {!Trace.hop}'s
+          [words]); derived exactly like the timestamps, so stage and
+          transit spans tile the root's allocation too *)
+  end_words : int;
   cycles : int;  (** summed modelled cycles of the covered hops *)
   detail : string;
 }
 
 val duration_ns : t -> int
+
+val alloc_words : t -> int
+(** Minor words allocated during the span, [end_words - begin_words]
+    clamped at 0 ([0] throughout for hand-built hops that never carried
+    a counter). *)
 
 val of_trace :
   ?stage_of:(Trace.hop -> string option) -> Trace.trace -> t list

@@ -42,6 +42,7 @@ type hop = {
   packet : string;
   bytes : int;
   cycles : int;
+  words : int;
   detail : string;
 }
 
@@ -60,6 +61,10 @@ let emit ~ts_ns ~component ~layer ~stage ?port ?(cycles = 0) ?(detail = "") pkt 
   match !sink with
   | None -> ()
   | Some f ->
+      (* Captured before any of the emit machinery allocates, so
+         consecutive hops' deltas tile the trace's end-to-end
+         allocation — including the tracing tax itself. *)
+      let words = int_of_float (Gc.minor_words ()) in
       incr seq_counter;
       f
         {
@@ -73,8 +78,10 @@ let emit ~ts_ns ~component ~layer ~stage ?port ?(cycles = 0) ?(detail = "") pkt 
           packet = Format.asprintf "%a" Netpkt.Packet.pp pkt;
           bytes = Netpkt.Packet.wire_size pkt;
           cycles;
+          words;
           detail;
-        }
+        };
+      Alloc_probe.record "trace.emit" words
 
 type trace = { key : int; hops : hop list }
 

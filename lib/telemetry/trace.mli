@@ -57,6 +57,11 @@ type hop = {
   packet : string;      (** one-line packet rendering *)
   bytes : int;          (** wire size *)
   cycles : int;         (** processing cost, 0 when not modelled *)
+  words : int;
+      (** cumulative minor-heap words ([Gc.minor_words]) captured at
+          emission; consecutive hops' deltas attribute real allocation
+          to stages, exactly as timestamps attribute latency.  [0] in
+          hand-built hops that never went through {!emit}. *)
   detail : string;
 }
 

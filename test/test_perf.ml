@@ -33,6 +33,7 @@ let hop ~seq ~ts ~component ~layer ~stage ?port ?(cycles = 0) ?(detail = "") ()
     packet = "icmp h0->h1";
     bytes = 64;
     cycles;
+    words = 0;
     detail;
   }
 
@@ -335,8 +336,9 @@ let snap_exn s =
   | Ok s -> s
   | Error e -> Alcotest.failf "snapshot: %s" e
 
-let row name ns : Bench_history.row =
-  { Bench_history.name; ns_per_run = ns; r_square = None; runs = 10 }
+let row ?words name ns : Bench_history.row =
+  { Bench_history.name; ns_per_run = ns; minor_words_per_run = words;
+    r_square = None; runs = 10 }
 
 let snap rows : Bench_history.snapshot =
   { Bench_history.quick = false; label = ""; rows }

@@ -235,8 +235,11 @@ let dashboard_tests =
     tc "top frame is deterministic across identical runs" (fun () ->
         (* datapath ids come from a process-global counter, so two demos
            in one process differ only there — mask that token *)
+        (* ... and the gc panel reads the live runtime, so its numbers
+           differ between the two frames — mask the whole line *)
         let mask frame =
           Str.global_replace (Str.regexp "dpid=0x[0-9a-f]+") "dpid=0xN" frame
+          |> Str.global_replace (Str.regexp "gc: [^\n]*") "gc: <live>"
         in
         let frame () =
           let d = demo_exn () in
@@ -254,8 +257,12 @@ let dashboard_tests =
         check_contains "ports" ~needle:"ports (rates over" frame;
         check_contains "bars" ~needle:"|#" frame;
         check_contains "flows" ~needle:"flows by byte rate" frame;
-        check_contains "alerts" ~needle:"alerts: 3 rule(s)" frame;
-        check_contains "traffic alert" ~needle:"dataplane-active" frame);
+        check_contains "alerts" ~needle:"alerts: 4 rule(s)" frame;
+        check_contains "traffic alert" ~needle:"dataplane-active" frame;
+        check_contains "gc panel" ~needle:"gc: " frame;
+        check_contains "gc rule" ~needle:"gc-alloc-rate" frame;
+        check_contains "engine line" ~needle:"engine: " frame;
+        check_contains "queue depth" ~needle:"queue depth" frame);
     tc "alerts frame lists rules, states and transitions" (fun () ->
         let d = demo_exn () in
         Harmless.Dashboard.advance d (Sim_time.ms 60);

@@ -193,6 +193,7 @@ let golden_tests =
             packet = "pkt";
             bytes = 64;
             cycles;
+            words = 0;
             detail;
           }
         in
