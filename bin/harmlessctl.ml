@@ -813,6 +813,163 @@ let perf_cmd =
        ~doc:"per-stage cost attribution and bench-regression gating")
     [ perf_report_cmd; perf_diff_cmd; perf_check_cmd ]
 
+(* ---- migrate: transactional fleet cutover ---- *)
+
+let write_text_file path text =
+  try Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)
+  with Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    exit 1
+
+let run_migrate switches hosts concurrency blast_radius seed deadline_ms
+    wal_path report_path crash_sweep canary_breach =
+  if crash_sweep then (
+    match Harmless.Migration_rig.crash_sweep ~num_hosts:hosts ~seed () with
+    | Error msg ->
+        Printf.eprintf "crash sweep failed to run: %s\n" msg;
+        exit 1
+    | Ok sweep ->
+        let text = Harmless.Migration_rig.render_sweep sweep in
+        print_string text;
+        Option.iter (fun p -> write_text_file p text) report_path;
+        if not sweep.Harmless.Migration_rig.ok then exit 1)
+  else if canary_breach then (
+    match Harmless.Migration_rig.canary_breach ~num_hosts:hosts ~seed () with
+    | Error msg ->
+        Printf.eprintf "canary breach scenario failed to run: %s\n" msg;
+        exit 1
+    | Ok br ->
+        let text = Harmless.Migration_rig.render_breach br in
+        print_string text;
+        Option.iter (fun p -> write_text_file p text) report_path;
+        if not br.Harmless.Migration_rig.ok then exit 1;
+        (* The scenario worked, which means the fleet aborted — and an
+           aborted fleet is a non-zero exit, same as in the default mode. *)
+        exit 4)
+  else
+    match
+      Harmless.Migration_rig.build ~num_switches:switches ~num_hosts:hosts
+        ~seed ()
+    with
+    | Error msg ->
+        Printf.eprintf "migration rig failed to build: %s\n" msg;
+        exit 1
+    | Ok rig ->
+        let fl =
+          Harmless.Migration_rig.fleet ~concurrency ~blast_radius
+            ?deadline:(Option.map Simnet.Sim_time.ms deadline_ms)
+            rig
+        in
+        Harmless.Migration.Fleet.run fl;
+        let wal = Harmless.Migration_rig.wal rig in
+        let panel = Harmless.Dashboard.render_migration ~wal fl in
+        print_string panel;
+        Option.iter (fun p -> Mgmt.Txn.save wal ~path:p) wal_path;
+        Option.iter (fun p -> write_text_file p panel) report_path;
+        (match Harmless.Migration.Fleet.state fl with
+        | Harmless.Migration.Fleet.Aborted reason ->
+            Printf.eprintf "fleet aborted: %s\n" reason;
+            exit 4
+        | _ -> ())
+
+let mig_switches_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "switches" ] ~docv:"N" ~doc:"Legacy switches in the fleet.")
+
+let mig_hosts_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "hosts" ] ~docv:"N" ~doc:"Hosts per legacy switch.")
+
+let mig_concurrency_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "concurrency" ] ~docv:"N"
+        ~doc:"Maximum migrations in flight at once.")
+
+let mig_blast_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "blast-radius" ] ~docv:"N"
+        ~doc:
+          "Failed switches tolerated before the whole fleet aborts \
+           (0 = abort on the first failure).")
+
+let mig_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Seed for retry jitter and scenario determinism.")
+
+let mig_deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Total management-plane backoff budget per switch, in \
+           sim-milliseconds; exceeding it surfaces a distinct \
+           'deadline exceeded' failure.")
+
+let mig_wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"FILE"
+        ~doc:"Write the migration write-ahead log here afterwards.")
+
+let mig_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report here.")
+
+let mig_sweep_arg =
+  Arg.(
+    value & flag
+    & info [ "crash-sweep" ]
+        ~doc:
+          "Instead of migrating, crash the manager at every WAL record \
+           boundary (fresh rig each time), recover from the serialized \
+           log, and report consistency/idempotence/connectivity per \
+           crash point.  Exit 1 if any point fails.")
+
+let mig_breach_arg =
+  Arg.(
+    value & flag
+    & info [ "canary-breach" ]
+        ~doc:
+          "Instead of a clean migration, degrade the first switch's \
+           trunk to 95% loss mid-canary: the SLO gate must roll it \
+           back and the fleet must abort.  Exit 4 when that happens \
+           (aborted fleet), 1 if the scenario misbehaves.")
+
+let migrate_cmd =
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"transactional live cutover of a switch fleet, with WAL crash \
+             recovery"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Migrates N legacy switches to HARMLESS sandwiches through a \
+              staged, make-before-break cutover \
+              (precheck/shadow/canary/commit), journaling every step to a \
+              write-ahead log and gating the canary stage on a live \
+              answered-probes SLO.  A breach rolls the switch back; \
+              repeated failures trip a circuit breaker; exceeding \
+              $(b,--blast-radius) aborts the fleet (exit status 4).  \
+              $(b,--crash-sweep) and $(b,--canary-breach) run the two \
+              validation scenarios instead.";
+         ])
+    Term.(
+      const run_migrate $ mig_switches_arg $ mig_hosts_arg
+      $ mig_concurrency_arg $ mig_blast_arg $ mig_seed_arg
+      $ mig_deadline_arg $ mig_wal_arg $ mig_report_arg $ mig_sweep_arg
+      $ mig_breach_arg)
+
 (* ---- walkthrough ---- *)
 
 let run_walkthrough () =
@@ -830,7 +987,7 @@ let main =
     [
       cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
       trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd; fuzz_cmd;
-      gc_cmd; perf_cmd;
+      gc_cmd; perf_cmd; migrate_cmd;
     ]
 
 let () = exit (Cmd.eval main)

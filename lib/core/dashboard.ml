@@ -247,3 +247,20 @@ let render_alerts t =
       log
   end;
   Buffer.contents buf
+
+let render_migration ?wal fleet =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s" (Migration.Fleet.render fleet);
+  (match wal with
+  | None -> ()
+  | Some wal ->
+      add "WAL: %d record(s), %d transaction(s)\n" (Mgmt.Txn.length wal)
+        (List.length (Mgmt.Txn.txns wal));
+      List.iter
+        (fun txn ->
+          add "  txn %-12s %s\n" txn
+            (Format.asprintf "%a" Mgmt.Txn.pp_resolution
+               (Mgmt.Txn.resolve wal ~txn)))
+        (Mgmt.Txn.txns wal));
+  Buffer.contents buf

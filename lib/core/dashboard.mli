@@ -62,3 +62,10 @@ val render_stages : t -> string
     traffic's end-to-end time goes, stage by stage.  [advance] runs
     under a trace collector, so this works out of the box; before any
     [advance] the frame says so instead of rendering an empty table. *)
+
+val render_migration : ?wal:Mgmt.Txn.t -> Migration.Fleet.t -> string
+(** The migration panel: per-switch stage, rollbacks_total, breaker
+    state and fleet progress ({!Migration.Fleet.render}), followed —
+    when [wal] is given — by the write-ahead log summary with each
+    transaction's replay resolution.  [harmlessctl migrate] prints
+    exactly this frame. *)

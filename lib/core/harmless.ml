@@ -12,6 +12,12 @@
     - {!Failover}: a standby trunk with watchdog-driven recovery;
     - {!Chaos}: scripted fault injection against a full deployment,
       with a recovery report;
+    - {!Migration}: the transactional live-cutover engine — staged
+      make-before-break migration with WAL crash recovery, SLO-gated
+      canaries, automatic rollback, a circuit breaker and a fleet
+      orchestrator;
+    - {!Migration_rig}: the harness that validates it — crash sweeps
+      over every WAL boundary and a mid-canary SLO-breach scenario;
     - {!Dashboard}: the monitoring-plane demo behind [harmlessctl top]
       and [harmlessctl alerts] — a stats poller plus alert rules over a
       live deployment, with deterministic text renderers;
@@ -30,6 +36,8 @@ module Deployment = Deployment
 module Scaleout = Scaleout
 module Failover = Failover
 module Chaos = Chaos
+module Migration = Migration
+module Migration_rig = Migration_rig
 module Dashboard = Dashboard
 module Transparency = Transparency
 module Trace_view = Trace_view

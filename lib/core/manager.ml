@@ -84,8 +84,11 @@ let verify_over_snmp device ~map =
     (fun acc pair -> match acc with Error _ -> acc | Ok () -> check pair)
     (Ok ()) pairs
 
-let configure_device ~device ~trunk_port ~access_ports ?base_vid
-    ?(disabled_ports = []) ?(retry = Retry.default) () =
+let candidate_config ~device ~trunk_port ~map ?(disabled_ports = []) () =
+  target_config device ~trunk_port ~map ~disabled_ports
+
+let precheck ~device ~trunk_port ~access_ports ?base_vid
+    ?(disabled_ports = []) () =
   let steps = ref [] in
   let log fmt = Printf.ksprintf (fun s -> steps := s :: !steps) fmt in
   let napalm = Device.napalm device in
@@ -116,13 +119,19 @@ let configure_device ~device ~trunk_port ~access_ports ?base_vid
     | exception Invalid_argument msg -> Error msg
   in
   log "computed mapping: %s" (Format.asprintf "%a" Port_map.pp map);
+  Ok (map, facts, List.rev !steps)
+
+let push_config ~device ~trunk_port ~map ?(disabled_ports = [])
+    ?(retry = Retry.default) ?rng ?budget ?(log = fun _ -> ()) () =
+  let logf fmt = Printf.ksprintf log fmt in
+  let napalm = Device.napalm device in
   (* Stage and commit the tagging configuration. *)
   let (module D : Dialect.S) = Device.dialect device in
   let candidate_text = D.render (target_config device ~trunk_port ~map ~disabled_ports) in
   let attempt ~op f =
-    Retry.run ~policy:retry ~op
+    Retry.run ~policy:retry ~op ?rng ?budget
       ~on_retry:(fun ~attempt ~delay:_ msg ->
-        log "%s failed (attempt %d): %s — retrying" op attempt msg)
+        logf "%s failed (attempt %d): %s — retrying" op attempt msg)
       f
   in
   let* () =
@@ -130,9 +139,9 @@ let configure_device ~device ~trunk_port ~access_ports ?base_vid
         napalm.Napalm.load_candidate candidate_text)
   in
   let diff = napalm.Napalm.compare_config () in
-  log "candidate loaded (%d changes)" (List.length diff);
+  logf "candidate loaded (%d changes)" (List.length diff);
   let* () = attempt ~op:"manager.commit" napalm.Napalm.commit in
-  log "committed configuration";
+  logf "committed configuration";
   let* () =
     (* Retry only transient SNMP errors (lost datagrams); a genuine VLAN
        mismatch will not fix itself, so it passes through and triggers
@@ -146,20 +155,34 @@ let configure_device ~device ~trunk_port ~access_ports ?base_vid
     in
     match verified with
     | Ok (Ok ()) ->
-        log "verified port VLANs over SNMP";
+        logf "verified port VLANs over SNMP";
         Ok ()
     | (Ok (Error msg) | Error msg) -> (
         (* Leave the device as we found it. *)
         match attempt ~op:"manager.rollback" napalm.Napalm.rollback with
         | Ok () ->
-            log "verification failed; rolled back";
+            logf "verification failed; rolled back";
             Error msg
         | Error rollback_msg ->
-            log "verification failed; rollback also failed: %s" rollback_msg;
+            logf "verification failed; rollback also failed: %s" rollback_msg;
             Error
               (Printf.sprintf
                  "%s; rollback also failed: %s — device state unknown" msg
                  rollback_msg))
+  in
+  Ok diff
+
+let configure_device ~device ~trunk_port ~access_ports ?base_vid
+    ?(disabled_ports = []) ?(retry = Retry.default) ?rng ?deadline () =
+  let* map, facts, precheck_steps =
+    precheck ~device ~trunk_port ~access_ports ?base_vid ~disabled_ports ()
+  in
+  let steps = ref (List.rev precheck_steps) in
+  let log s = steps := s :: !steps in
+  let budget = Option.map Retry.budget deadline in
+  let* diff =
+    push_config ~device ~trunk_port ~map ~disabled_ports ~retry ?rng ?budget
+      ~log ()
   in
   Ok (map, { facts; config_diff = diff; steps = List.rev !steps })
 

@@ -53,6 +53,8 @@ val configure_device :
   ?base_vid:int ->
   ?disabled_ports:int list ->
   ?retry:Mgmt.Retry.policy ->
+  ?rng:Simnet.Rng.t ->
+  ?deadline:Simnet.Sim_time.span ->
   unit ->
   (Port_map.t * report, string) result
 (** Steps 1–4 of {!provision} only: discover, compute the mapping,
@@ -68,7 +70,55 @@ val configure_device :
     errors — a genuine VLAN mismatch triggers rollback immediately.
     When verification {e and} rollback both fail, the error carries both
     messages ("…; rollback also failed: … — device state unknown"), so
-    the operator knows the device was left in an unknown state. *)
+    the operator knows the device was left in an unknown state.
+
+    [rng] feeds the retry policy's full jitter (see {!Mgmt.Retry}).
+    [deadline] is a {e total} backoff budget shared by every retried
+    step (load, commit, verify, rollback): when the accumulated backoff
+    would exceed it, the run stops with a ["deadline exceeded…"] error
+    — recognisable via {!Mgmt.Retry.is_deadline_error} and counted in
+    [deadline_exceeded_total{op}] — distinct from the per-operation
+    "gave up after N attempts" transient give-up. *)
+
+val precheck :
+  device:Mgmt.Device.t ->
+  trunk_port:int ->
+  access_ports:int list ->
+  ?base_vid:int ->
+  ?disabled_ports:int list ->
+  unit ->
+  (Port_map.t * Mgmt.Napalm.facts * string list, string) result
+(** The read-only first phase of {!configure_device}: discover the
+    device, validate the port set, compute the mapping.  Touches
+    nothing; the returned strings are the action-log steps taken.
+    {!Migration} runs this as its own journaled stage. *)
+
+val push_config :
+  device:Mgmt.Device.t ->
+  trunk_port:int ->
+  map:Port_map.t ->
+  ?disabled_ports:int list ->
+  ?retry:Mgmt.Retry.policy ->
+  ?rng:Simnet.Rng.t ->
+  ?budget:Mgmt.Retry.budget ->
+  ?log:(string -> unit) ->
+  unit ->
+  (string list, string) result
+(** The mutating second phase: render the candidate for [map], stage it,
+    commit, verify over SNMP, roll back on a verify mismatch.  Returns
+    the config diff.  [budget] is shared across all retried steps;
+    [log] receives the same step strings {!configure_device} reports. *)
+
+val candidate_config :
+  device:Mgmt.Device.t ->
+  trunk_port:int ->
+  map:Port_map.t ->
+  ?disabled_ports:int list ->
+  unit ->
+  Mgmt.Device_config.t
+(** The exact structured configuration {!push_config} would commit —
+    what WAL recovery compares the running config against to decide
+    whether a crashed transaction's commit landed. *)
 
 val deprovision : Mgmt.Device.t -> (unit, string) result
 (** Roll the legacy switch back to its pre-HARMLESS configuration. *)

@@ -44,6 +44,13 @@ let equal a b =
          x.port = y.port && x.mode = y.mode && x.description = y.description)
        a.stanzas b.stanzas
 
+let equal_modes a b =
+  String.equal a.hostname b.hostname
+  && List.length a.stanzas = List.length b.stanzas
+  && List.for_all2
+       (fun x y -> x.port = y.port && x.mode = y.mode)
+       a.stanzas b.stanzas
+
 let diff a b =
   let changes = ref [] in
   if not (String.equal a.hostname b.hostname) then

@@ -25,6 +25,12 @@ val stanza_for : t -> port:int -> stanza option
 
 val equal : t -> t -> bool
 
+val equal_modes : t -> t -> bool
+(** Equality on what the device actually enforces — hostname, ports and
+    their modes — ignoring descriptions, which not every NOS dialect
+    round-trips.  This is the comparison migration recovery uses to
+    decide whether a crashed transaction's commit landed. *)
+
 val diff : t -> t -> string list
 (** Human-readable per-port differences, ["port 3: access 1 -> access 103"];
     empty when {!equal}. *)

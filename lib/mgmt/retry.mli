@@ -9,33 +9,77 @@
 
     Each retry increments the [retries_total{op="…"}] counter in the
     telemetry registry, so chaos runs can assert recovery actually
-    exercised the retry path. *)
+    exercised the retry path.
+
+    Two refinements built for fleet migrations:
+
+    - {e full jitter}: a policy with [jitter = true] draws every backoff
+      uniformly from [\[0, raw_delay\]] using a caller-supplied seeded
+      {!Simnet.Rng.t}, so N devices retrying against the same overloaded
+      management network don't synchronise their retry storms.  Without
+      an rng the raw (unjittered) delay is used, keeping old call sites
+      byte-identical.
+    - {e deadline budgets}: a {!budget} caps the {e total} backoff a
+      whole multi-operation sequence may accumulate.  When the next
+      delay would blow the budget the retry loop stops early with a
+      [deadline exceeded] error ({!is_deadline_error}), distinct from
+      the per-operation "gave up after N attempts" transient give-up,
+      and increments [deadline_exceeded_total{op="…"}]. *)
 
 type policy = {
   max_attempts : int;          (** total tries, >= 1 *)
   base_delay : Simnet.Sim_time.span;  (** delay before attempt 2 *)
   multiplier : float;          (** backoff growth factor, >= 1 *)
   max_delay : Simnet.Sim_time.span;   (** backoff cap *)
+  jitter : bool;               (** full jitter: delay ~ U[0, raw] *)
 }
 
 val policy :
   ?max_attempts:int -> ?base_delay:Simnet.Sim_time.span ->
-  ?multiplier:float -> ?max_delay:Simnet.Sim_time.span -> unit -> policy
-(** Defaults: 3 attempts, 10 ms base, x2 growth, 1 s cap.
+  ?multiplier:float -> ?max_delay:Simnet.Sim_time.span ->
+  ?jitter:bool -> unit -> policy
+(** Defaults: 3 attempts, 10 ms base, x2 growth, 1 s cap, no jitter.
     @raise Invalid_argument on nonsensical values. *)
 
 val default : policy
 
-val delay_before_attempt : policy -> attempt:int -> Simnet.Sim_time.span
+val delay_before_attempt :
+  ?rng:Simnet.Rng.t -> policy -> attempt:int -> Simnet.Sim_time.span
 (** Backoff inserted before the given 1-based attempt (0 for the first).
-    Pure — the schedule is a function of the policy alone, so runs are
-    reproducible. *)
+    Without jitter the schedule is a pure function of the policy alone;
+    with [jitter = true] and an [rng] each delay is drawn uniformly from
+    [\[0, raw\]] — equal seeds give equal schedules, so jittered runs
+    are still reproducible. *)
 
-val backoff_schedule : policy -> Simnet.Sim_time.span list
+val backoff_schedule : ?rng:Simnet.Rng.t -> policy -> Simnet.Sim_time.span list
 (** The full delay sequence, i.e. delays before attempts 2..max. *)
+
+(** {2 Deadline budgets} *)
+
+type budget
+(** A mutable total-backoff allowance shared across every retried
+    operation of one logical task (e.g. all of [configure_device]'s
+    load/commit/verify/rollback retries). *)
+
+val budget : Simnet.Sim_time.span -> budget
+(** @raise Invalid_argument if the span is negative. *)
+
+val budget_limit : budget -> Simnet.Sim_time.span
+val budget_spent : budget -> Simnet.Sim_time.span
+(** Backoff charged so far (the delays that were, or would have been,
+    waited out). *)
+
+val budget_exhausted : budget -> bool
+(** True once a retry loop has refused to continue under this budget. *)
+
+val is_deadline_error : string -> bool
+(** Recognise the stable ["deadline exceeded"] prefix that budget
+    exhaustion produces — the contract for telling a blown deadline
+    apart from a transient give-up. *)
 
 val run :
   ?policy:policy -> ?registry:Telemetry.Registry.t -> ?op:string ->
+  ?rng:Simnet.Rng.t -> ?budget:budget ->
   ?on_retry:(attempt:int -> delay:Simnet.Sim_time.span -> string -> unit) ->
   (unit -> ('a, string) result) -> ('a, string) result
 (** Synchronous retries: call [f] until it succeeds or [max_attempts] is
@@ -43,11 +87,15 @@ val run :
     backoff is not waited out here — it is reported to [on_retry] (and
     is exactly what {!run_async} would wait).  The terminal error is
     annotated with the attempt count.  [op] labels the
-    [retries_total] counter (default registry unless [registry]). *)
+    [retries_total] counter (default registry unless [registry]).
+
+    [rng] feeds the policy's jitter; [budget] charges every backoff
+    delay against a shared allowance and fails fast with a
+    ["deadline exceeded…"] error when the next delay would exceed it. *)
 
 val run_async :
   Simnet.Engine.t -> ?policy:policy -> ?registry:Telemetry.Registry.t ->
-  ?op:string ->
+  ?op:string -> ?rng:Simnet.Rng.t -> ?budget:budget ->
   ?on_retry:(attempt:int -> delay:Simnet.Sim_time.span -> string -> unit) ->
   (unit -> ('a, string) result) -> on_done:(('a, string) result -> unit) ->
   unit

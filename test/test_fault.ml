@@ -107,6 +107,69 @@ let retry_tests =
         && List.length s1 = max_attempts - 1
         && nondecreasing
         && List.for_all (fun d -> d >= 0 && d <= base_ns * 64) s1);
+    tc "full jitter is seeded, bounded and reproducible" (fun () ->
+        let policy =
+          Mgmt.Retry.policy ~max_attempts:6 ~base_delay:(Sim_time.ms 10)
+            ~multiplier:2.0 ~max_delay:(Sim_time.ms 60) ~jitter:true ()
+        in
+        let raw = Mgmt.Retry.backoff_schedule { policy with jitter = false } in
+        let j1 = Mgmt.Retry.backoff_schedule ~rng:(Rng.create 7) policy in
+        let j2 = Mgmt.Retry.backoff_schedule ~rng:(Rng.create 7) policy in
+        let j3 = Mgmt.Retry.backoff_schedule ~rng:(Rng.create 8) policy in
+        check Alcotest.(list int) "same seed, same schedule" j1 j2;
+        check Alcotest.bool "different seed, different schedule" true (j1 <> j3);
+        List.iter2
+          (fun jit r ->
+            check Alcotest.bool "each delay drawn from [0, raw]" true
+              (jit >= 0 && jit <= r))
+          j1 raw;
+        check
+          Alcotest.(list int)
+          "no rng falls back to the raw schedule" raw
+          (Mgmt.Retry.backoff_schedule policy));
+    tc "budget exhaustion fails fast as a deadline, not a give-up" (fun () ->
+        let registry = Telemetry.Registry.create () in
+        let policy =
+          Mgmt.Retry.policy ~max_attempts:10 ~base_delay:(Sim_time.ms 10)
+            ~multiplier:2.0 ()
+        in
+        (* delays 10, 20, 40… a 25 ms budget admits only the first one. *)
+        let budget = Mgmt.Retry.budget (Sim_time.ms 25) in
+        let calls = ref 0 in
+        let result =
+          Mgmt.Retry.run ~policy ~registry ~op:"mgmt.test" ~budget (fun () ->
+              incr calls;
+              Error "still down")
+        in
+        (match result with
+        | Ok () -> Alcotest.fail "should not succeed"
+        | Error msg ->
+            check Alcotest.bool "deadline error, recognisably" true
+              (Mgmt.Retry.is_deadline_error msg);
+            check Alcotest.bool "not the give-up wording" false
+              (contains msg "gave up"));
+        check Alcotest.int "stopped before max_attempts" 2 !calls;
+        check Alcotest.bool "budget marked exhausted" true
+          (Mgmt.Retry.budget_exhausted budget);
+        check Alcotest.int "deadline_exceeded_total counted" 1
+          (Telemetry.Registry.Counter.value
+             (Telemetry.Registry.Counter.v ~registry
+                ~labels:[ ("op", "mgmt.test") ]
+                "deadline_exceeded_total"));
+        (* an ample budget keeps the per-operation give-up semantics *)
+        let roomy = Mgmt.Retry.budget (Sim_time.s 10) in
+        match
+          Mgmt.Retry.run
+            ~policy:(Mgmt.Retry.policy ~max_attempts:3 ())
+            ~registry ~budget:roomy
+            (fun () -> Error "still down")
+        with
+        | Ok () -> Alcotest.fail "should not succeed"
+        | Error msg ->
+            check Alcotest.bool "transient give-up preserved" true
+              (contains msg "gave up after 3 attempts");
+            check Alcotest.bool "not a deadline" false
+              (Mgmt.Retry.is_deadline_error msg));
   ]
 
 (* ---- Fault script parsing and the injector ---- *)
