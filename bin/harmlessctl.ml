@@ -316,7 +316,8 @@ let default_chaos_script =
    20ms  channel        up\n\
    30ms  trunk:primary  down\n"
 
-let run_chaos hosts duration_ms script_path seed mode failback ping_us =
+let run_chaos hosts duration_ms script_path seed mode failback ping_us
+    postmortem_path =
   let script =
     match script_path with
     | None -> default_chaos_script
@@ -350,6 +351,15 @@ let run_chaos hosts duration_ms script_path seed mode failback ping_us =
       exit 1
   | Ok report ->
       Format.printf "%a@." Harmless.Chaos.pp_report report;
+      (match (postmortem_path, report.Harmless.Chaos.postmortem) with
+      | None, _ -> ()
+      | Some path, Some snap ->
+          Telemetry.Postmortem.save snap ~path;
+          Printf.printf "post-mortem written to %s\n" path
+      | Some _, None ->
+          prerr_endline
+            "no post-mortem captured: no trigger (fault, firing alert, \
+             rollback) fired");
       if not report.Harmless.Chaos.recovered then exit 2
 
 let chaos_hosts_arg =
@@ -403,6 +413,17 @@ let chaos_ping_arg =
     & info [ "ping-interval" ] ~docv:"US"
         ~doc:"Probe-traffic spacing in microseconds.")
 
+let chaos_postmortem_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem" ] ~docv:"FILE"
+        ~doc:
+          "Write the captured post-mortem snapshot here (render it with \
+           $(b,harmlessctl postmortem)).  The run always records; a \
+           snapshot exists whenever a trigger — a fault injection, an \
+           alert going firing, a rollback — landed in the event log.")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
@@ -422,7 +443,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ chaos_hosts_arg $ chaos_duration_arg
       $ chaos_script_arg $ chaos_seed_arg $ chaos_mode_arg
-      $ chaos_failback_arg $ chaos_ping_arg)
+      $ chaos_failback_arg $ chaos_ping_arg $ chaos_postmortem_arg)
 
 (* ---- top / alerts: the monitoring plane ---- *)
 
@@ -822,7 +843,7 @@ let write_text_file path text =
     exit 1
 
 let run_migrate switches hosts concurrency blast_radius seed deadline_ms
-    wal_path report_path crash_sweep canary_breach =
+    wal_path report_path crash_sweep canary_breach postmortem_path =
   if crash_sweep then (
     match Harmless.Migration_rig.crash_sweep ~num_hosts:hosts ~seed () with
     | Error msg ->
@@ -842,6 +863,13 @@ let run_migrate switches hosts concurrency blast_radius seed deadline_ms
         let text = Harmless.Migration_rig.render_breach br in
         print_string text;
         Option.iter (fun p -> write_text_file p text) report_path;
+        (match (postmortem_path, br.Harmless.Migration_rig.postmortem) with
+        | None, _ -> ()
+        | Some path, Some snap ->
+            Telemetry.Postmortem.save snap ~path;
+            Printf.printf "post-mortem written to %s\n" path
+        | Some _, None ->
+            prerr_endline "no post-mortem captured: no trigger fired");
         if not br.Harmless.Migration_rig.ok then exit 1;
         (* The scenario worked, which means the fleet aborted — and an
            aborted fleet is a non-zero exit, same as in the default mode. *)
@@ -935,6 +963,15 @@ let mig_sweep_arg =
            log, and report consistency/idempotence/connectivity per \
            crash point.  Exit 1 if any point fails.")
 
+let mig_postmortem_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--canary-breach): write the captured post-mortem \
+           snapshot here (render it with $(b,harmlessctl postmortem)).")
+
 let mig_breach_arg =
   Arg.(
     value & flag
@@ -968,7 +1005,67 @@ let migrate_cmd =
       const run_migrate $ mig_switches_arg $ mig_hosts_arg
       $ mig_concurrency_arg $ mig_blast_arg $ mig_seed_arg
       $ mig_deadline_arg $ mig_wal_arg $ mig_report_arg $ mig_sweep_arg
-      $ mig_breach_arg)
+      $ mig_breach_arg $ mig_postmortem_arg)
+
+(* ---- postmortem: render a captured snapshot as a causal timeline ---- *)
+
+let run_postmortem path format =
+  match Telemetry.Postmortem.load ~path with
+  | Error msg ->
+      Printf.eprintf "cannot read post-mortem %s: %s\n" path msg;
+      exit 1
+  | Ok snap -> (
+      (match format with
+      | `Text -> print_string (Telemetry.Postmortem.render snap)
+      | `Json ->
+          print_endline
+            (Telemetry.Json.to_string_lines
+               (Telemetry.Postmortem.to_json snap)));
+      let tl = Telemetry.Postmortem.analyze snap in
+      match tl.Telemetry.Postmortem.root_cause with
+      | Some _ -> ()
+      | None ->
+          prerr_endline
+            "post-mortem has no fault-stream event: root cause unknown";
+          exit 5)
+
+let postmortem_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Snapshot file written by $(b,chaos --postmortem) or \
+           $(b,migrate --canary-breach --postmortem).")
+
+let postmortem_format_arg =
+  let fmt_conv = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt fmt_conv `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: $(b,text) (causal timeline report) or $(b,json).")
+
+let postmortem_cmd =
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:"render a captured flight-recorder snapshot as a causal timeline"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads a post-mortem snapshot (the bounded bundle a recorded \
+              run captures when a trigger fires: the event window around \
+              the first fault, the correlated packet spans and the \
+              monitored series slices) and prints a causal timeline — \
+              root cause first, then every significant step, e.g. \
+              'trunk:primary degrade@6.0ms -> probe-liveness firing@9.5ms \
+              -> sw0 rollback@9.5ms -> fleet abort@9.6ms' — followed by \
+              the full window.  Deterministic: the same snapshot always \
+              renders the same report.  Exit status 5 when the snapshot \
+              contains no fault-stream event to name as root cause.";
+         ])
+    Term.(const run_postmortem $ postmortem_file_arg $ postmortem_format_arg)
 
 (* ---- walkthrough ---- *)
 
@@ -987,7 +1084,7 @@ let main =
     [
       cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
       trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd; fuzz_cmd;
-      gc_cmd; perf_cmd; migrate_cmd;
+      gc_cmd; perf_cmd; migrate_cmd; postmortem_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -62,6 +62,16 @@ let on_reconnect t f = t.on_reconnect <- t.on_reconnect @ [ f ]
    incrementing a dangling series. *)
 let switch_labels t = [ ("switch", Softswitch.Soft_switch.name t.switch) ]
 
+(* Flight-recorder events for channel lifecycle.  Call sites guard on
+   [Eventlog.enabled] so the disabled path stays allocation-free. *)
+let event t ?level ?detail name =
+  Telemetry.Eventlog.emit ?level
+    ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+    ~corr:
+      (Telemetry.Eventlog.corr_of_string
+         ("channel:" ^ Softswitch.Soft_switch.name t.switch))
+    ?detail ~stream:"channel" name
+
 let count_reconnect t =
   Telemetry.Registry.Counter.inc
     (Telemetry.Registry.Counter.v ~labels:(switch_labels t)
@@ -72,7 +82,11 @@ let count_drop t ~direction =
     (Telemetry.Registry.Counter.v
        ~labels:(("direction", direction) :: switch_labels t)
        ~help:"control messages lost on the channel"
-       "channel_dropped_messages_total")
+       "channel_dropped_messages_total");
+  if Telemetry.Eventlog.enabled () then
+    event t ~level:Telemetry.Eventlog.Debug
+      ~detail:(Softswitch.Soft_switch.name t.switch ^ " " ^ direction)
+      "drop"
 
 let lost t = t.config.loss > 0.0 && Rng.float t.rng 1.0 < t.config.loss
 
@@ -132,6 +146,13 @@ let rec attempt_reconnect t ~attempt =
           mark_connected t;
           t.reconnects <- t.reconnects + 1;
           count_reconnect t;
+          if Telemetry.Eventlog.enabled () then
+            event t
+              ~detail:
+                (Printf.sprintf "%s attempt=%d"
+                   (Softswitch.Soft_switch.name t.switch)
+                   attempt)
+              "reconnect";
           List.iter (fun f -> f ()) t.on_reconnect
         end
         else attempt_reconnect t ~attempt:(attempt + 1))
@@ -140,6 +161,10 @@ let mark_disconnected t =
   if t.state = Connected then begin
     t.state <- Disconnected;
     Softswitch.Soft_switch.set_connected t.switch false;
+    if Telemetry.Eventlog.enabled () then
+      event t ~level:Telemetry.Eventlog.Warn
+        ~detail:(Softswitch.Soft_switch.name t.switch)
+        "disconnect";
     attempt_reconnect t ~attempt:1
   end
 
@@ -210,6 +235,8 @@ let connect engine ?latency ?(config = default_config) ~switch ~to_controller
   in
   Softswitch.Soft_switch.set_controller switch (deliver_to_controller t);
   Softswitch.Soft_switch.set_connected switch true;
+  if Telemetry.Eventlog.enabled () then
+    event t ~detail:(Softswitch.Soft_switch.name switch) "connect";
   (match config.keepalive_interval with
   | Some interval -> keepalive_tick t ~interval
   | None -> ());

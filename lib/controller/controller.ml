@@ -127,6 +127,15 @@ let dispatch_packet_in t dpid ~in_port reason packet =
            | Of_message.No_match -> "no_match"
            | Of_message.Action_to_controller -> "action"))
       packet;
+  (* The control↔dataplane join: the event's correlation id is the
+     packet's trace key, so a post-mortem can pair this decision with
+     the packet's hop spans. *)
+  if Telemetry.Eventlog.enabled () then
+    Telemetry.Eventlog.emit ~level:Telemetry.Eventlog.Debug
+      ~ts_ns:(Simnet.Sim_time.to_ns (Simnet.Engine.now t.engine))
+      ~corr:(Telemetry.Trace.key_of_packet packet)
+      ~detail:(Printf.sprintf "dpid:%Lx port=%d" dpid in_port)
+      ~stream:"controller" "packet-in";
   let rec offer = function
     | [] -> ()
     | app :: rest ->

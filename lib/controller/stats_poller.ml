@@ -133,8 +133,21 @@ let record_rtt t span =
   t.rtt_reply_count <- t.rtt_reply_count + 1;
   Telemetry.Timeseries.record t.rtt ~ts_ns:(now_ns t) (float_of_int span)
 
+(* Flight-recorder events, correlated on the polled dpid.  Guarded at
+   every call site. *)
+let event t ?level ?detail name =
+  Telemetry.Eventlog.emit ?level ~ts_ns:(now_ns t)
+    ~corr:
+      (Telemetry.Eventlog.corr_of_string
+         (Printf.sprintf "dpid:%Lx" t.poller_dpid))
+    ?detail ~stream:"poller" name
+
 let issue_round t =
   t.rounds <- t.rounds + 1;
+  if Telemetry.Eventlog.enabled () then
+    event t ~level:Telemetry.Eventlog.Debug
+      ~detail:(Printf.sprintf "dpid:%Lx round=%d" t.poller_dpid t.rounds)
+      "round";
   Controller.flow_stats t.ctrl t.poller_dpid ~on_reply:(record_flows t);
   Controller.port_stats t.ctrl t.poller_dpid ~on_reply:(record_ports t);
   Controller.measure_rtt t.ctrl t.poller_dpid ~on_reply:(record_rtt t)
@@ -154,9 +167,16 @@ let current_delay t =
 let rec tick t ~epoch =
   if t.running && epoch = t.epoch then begin
     (* Judge the previous round before issuing the next one. *)
+    let failed_before = t.failures in
     if not (connected t) then t.failures <- t.failures + 1
     else if t.rounds > 0 && t.flow_reply_count = t.replies_at_last_tick then
       t.failures <- t.failures + 1;
+    if t.failures > failed_before && Telemetry.Eventlog.enabled () then
+      event t ~level:Telemetry.Eventlog.Warn
+        ~detail:
+          (Printf.sprintf "dpid:%Lx consecutive=%d%s" t.poller_dpid t.failures
+             (if connected t then "" else " disconnected"))
+        "stall";
     t.replies_at_last_tick <- t.flow_reply_count;
     if connected t then issue_round t;
     Simnet.Engine.schedule_after

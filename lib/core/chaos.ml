@@ -4,6 +4,7 @@ open Softswitch
 
 type rig = {
   engine : Engine.t;
+  seed : int;
   injector : Fault.injector;
   hosts : Host.t array;
   host_links : Link.t array;
@@ -113,6 +114,7 @@ let build engine ?(num_hosts = 3) ?(seed = 42)
     let t =
       {
         engine;
+        seed;
         injector = Fault.create engine;
         hosts;
         host_links;
@@ -210,6 +212,7 @@ type report = {
   slo_evaluations : int;
   slo_breaches : (string * (int * int option) list) list;
   stage_slis : (string * Telemetry.Profile.stats) list;
+  postmortem : Telemetry.Postmortem.snapshot option;
 }
 
 let retry_ops =
@@ -248,10 +251,8 @@ let ping_pair t k =
     ~dst_ip:(Host.ip t.hosts.(dst))
     ~seq:t.pings_sent
 
-let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
+let run_recorded t ~recorder ~script ~duration ~ping_interval =
   let ( let* ) = Result.bind in
-  if duration <= 0 then Error "chaos: duration must be positive"
-  else
     let* _events = Fault.run_script t.injector script in
     (* SLO rules evaluated on the engine clock during the storm and the
        recovery grace; their firing windows land in the report. *)
@@ -341,6 +342,17 @@ let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
             (Telemetry.Profile.stage_stats profile ~stage))
         (Telemetry.Profile.stages profile)
     in
+    (* Capture-at-finalize: if anything trigger-worthy landed in the
+       recorder (a fault, an alert going firing, a rollback/abort), bundle
+       the event window with the recovery-probe spans and the liveness
+       series into a deterministic snapshot. *)
+    let postmortem =
+      Telemetry.Postmortem.capture
+        ~spans:(Telemetry.Span.of_traces probe_traces)
+        ~series:[ answered_series ] ~scenario:"chaos" ~seed:t.seed
+        ~captured_ns:(Sim_time.to_ns (Engine.now t.engine))
+        recorder
+    in
     Ok
       {
         duration;
@@ -371,7 +383,27 @@ let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
             (fun rule -> (rule, Telemetry.Alert.breaches alerts rule))
             (Telemetry.Alert.rules alerts);
         stage_slis;
+        postmortem;
       }
+
+(* The whole run happens under a freshly installed flight recorder (the
+   previous one, if any, is restored afterwards): every fault injection,
+   channel drop, retry, failover and alert transition lands in the event
+   log, and the end of the run captures a post-mortem snapshot when
+   anything trigger-worthy happened. *)
+let run t ~script ~duration ?(ping_interval = Sim_time.ms 1) () =
+  if duration <= 0 then Error "chaos: duration must be positive"
+  else
+    let result, _retained =
+      Telemetry.Eventlog.with_recorder (fun recorder ->
+          Telemetry.Eventlog.set_clock
+            (Some (fun () -> Sim_time.to_ns (Engine.now t.engine)));
+          Fun.protect
+            ~finally:(fun () -> Telemetry.Eventlog.set_clock None)
+            (fun () ->
+              run_recorded t ~recorder ~script ~duration ~ping_interval))
+    in
+    result
 
 let pp_report ppf r =
   let open Format in
@@ -431,4 +463,16 @@ let pp_report ppf r =
                 Sim_time.pp (Sim_time.of_ns from_ns))
         windows)
     r.slo_breaches;
+  (match r.postmortem with
+  | None -> fprintf ppf "  post-mortem: no trigger, none captured@,"
+  | Some s ->
+      let tl = Telemetry.Postmortem.analyze s in
+      fprintf ppf
+        "  post-mortem: %d event(s) across %d trigger(s), root cause %s@,"
+        (List.length s.Telemetry.Postmortem.events)
+        (List.length s.Telemetry.Postmortem.triggers)
+        (match tl.Telemetry.Postmortem.root_cause with
+        | Some e ->
+            e.Telemetry.Eventlog.stream ^ "." ^ e.Telemetry.Eventlog.name
+        | None -> "unknown"));
   fprintf ppf "@]"

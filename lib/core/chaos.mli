@@ -91,6 +91,11 @@ type report = {
       (** per-stage latency SLIs (ns) folded from the traced recovery
           probe, stages in first-appearance order along the walk — how
           the healed datapath performs, not just whether it answers. *)
+  postmortem : Telemetry.Postmortem.snapshot option;
+      (** captured at the end of the run when any flight-recorder
+          trigger (fault injection, alert firing, rollback/abort) fired;
+          [None] for an uneventful run.  Same seed and script → the
+          same snapshot, byte for byte. *)
 }
 
 val run :
@@ -105,6 +110,12 @@ val run :
     through every ordered host pair for [duration], then send a final
     recovery probe to every pair and wait 20 ms of grace.  [Error] only
     for an unparsable script or nonpositive duration — fault outcomes
-    land in the report, not in errors. *)
+    land in the report, not in errors.
+
+    The run executes under a freshly installed {!Telemetry.Eventlog}
+    recorder (any previously installed recorder is restored afterwards)
+    with the engine as the fallback clock, and finishes with a
+    {!Telemetry.Postmortem.capture} over the recorded events, the traced
+    recovery probe and the probe-liveness series. *)
 
 val pp_report : Format.formatter -> report -> unit

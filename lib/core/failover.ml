@@ -42,6 +42,16 @@ let count_failover ~direction =
        ~labels:[ ("direction", direction) ]
        ~help:"successful trunk activations" "failovers_total")
 
+(* Flight-recorder events, correlated on the device hostname.  Guarded
+   at every call site. *)
+let event t ?level ?detail name =
+  Telemetry.Eventlog.emit ?level
+    ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+    ~corr:
+      (Telemetry.Eventlog.corr_of_string
+         ("failover:" ^ Mgmt.Device.hostname t.device))
+    ?detail ~stream:"failover" name
+
 let provision engine ~device ~primary_trunk ~backup_trunk ~access_ports
     ?base_vid ?(dataplane = Soft_switch.Eswitch) ?pmd () =
   if primary_trunk = backup_trunk then Error "failover: trunks must differ"
@@ -109,6 +119,10 @@ let activate_backup t =
           t.active <- `Backup;
           t.failovers <- t.failovers + 1;
           count_failover ~direction:"to_backup";
+          if Telemetry.Eventlog.enabled () then
+            event t ~level:Telemetry.Eventlog.Warn
+              ~detail:(Mgmt.Device.hostname t.device ^ " to_backup")
+              "failover";
           Ok ())
 
 let activate_primary t =
@@ -122,6 +136,10 @@ let activate_primary t =
           t.active <- `Primary;
           t.failbacks <- t.failbacks + 1;
           count_failover ~direction:"to_primary";
+          if Telemetry.Eventlog.enabled () then
+            event t
+              ~detail:(Mgmt.Device.hostname t.device ^ " to_primary")
+              "failback";
           Ok ())
 
 (* The health probe: carrier on SS_1's trunk NIC.  Port 0 is the primary
@@ -143,6 +161,10 @@ let start_watchdog ?(policy = Mgmt.Retry.default) ?(failback = false)
   let give_up msg =
     t.last_error <- Some msg;
     t.status <- Gave_up msg;
+    if Telemetry.Eventlog.enabled () then
+      event t ~level:Telemetry.Eventlog.Error
+        ~detail:(Mgmt.Device.hostname t.device ^ " " ^ msg)
+        "gave_up";
     match on_failure with Some f -> f msg | None -> ()
   in
   let rec schedule_tick () = Engine.schedule_after t.engine period tick

@@ -458,10 +458,26 @@ type breach = {
   probe_ok : bool;
   panel : string;
   ok : bool;
+  postmortem : Telemetry.Postmortem.snapshot option;
 }
 
-let canary_breach ?(num_hosts = 2) ~seed () =
+(* The breach runs under a freshly installed flight recorder: the trunk
+   degradation, the liveness alert going firing, the canary rollback and
+   the fleet abort all land in the event log, and the end of the run
+   captures them as a post-mortem snapshot. *)
+let rec canary_breach ?(num_hosts = 2) ~seed () =
   let* t = build ~num_switches:3 ~num_hosts ~seed () in
+  let result, _retained =
+    Telemetry.Eventlog.with_recorder (fun recorder ->
+        Telemetry.Eventlog.set_clock
+          (Some (fun () -> Sim_time.to_ns (Engine.now t.engine)));
+        Fun.protect
+          ~finally:(fun () -> Telemetry.Eventlog.set_clock None)
+          (fun () -> canary_breach_recorded t ~recorder ~seed))
+  in
+  result
+
+and canary_breach_recorded t ~recorder ~seed =
   let sw0 = t.switches.(0) in
   (* Member 0's gate also schedules the attack: 6 ms after its first
      canary probe (i.e. past the 5 ms warmup) the freshly cut-over
@@ -523,6 +539,14 @@ let canary_breach ?(num_hosts = 2) ~seed () =
     && r.Migration.Fleet.skipped = 2
     && probe_ok
   in
+  (* Capture-at-finalize: the trunk degradation is the trigger, the
+     canary's liveness series the evidence. *)
+  let postmortem =
+    Telemetry.Postmortem.capture ~series:[ sw0.answered_series ]
+      ~scenario:"canary-breach" ~seed
+      ~captured_ns:(Sim_time.to_ns (Engine.now t.engine))
+      recorder
+  in
   Ok
     {
       seed;
@@ -536,6 +560,7 @@ let canary_breach ?(num_hosts = 2) ~seed () =
       probe_ok;
       panel = Migration.Fleet.render fl;
       ok;
+      postmortem;
     }
 
 let render_breach br =
@@ -550,5 +575,15 @@ let render_breach br =
     br.aborted br.skipped br.rollbacks_total br.breaker_trips
     (if br.probe_ok then "ok" else "FAILED");
   Buffer.add_string b br.panel;
+  (match br.postmortem with
+  | None -> Printf.bprintf b "post-mortem: none captured\n"
+  | Some s ->
+      let tl = Telemetry.Postmortem.analyze s in
+      Printf.bprintf b "post-mortem: %d event(s), root cause %s\n"
+        (List.length s.Telemetry.Postmortem.events)
+        (match tl.Telemetry.Postmortem.root_cause with
+        | Some e ->
+            e.Telemetry.Eventlog.stream ^ "." ^ e.Telemetry.Eventlog.name
+        | None -> "unknown"));
   Printf.bprintf b "verdict: %s\n" (if br.ok then "PASS" else "FAIL");
   Buffer.contents b

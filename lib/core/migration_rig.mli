@@ -104,12 +104,18 @@ type breach = {
   probe_ok : bool;          (** connectivity restored after rollback *)
   panel : string;           (** the final fleet panel *)
   ok : bool;
+  postmortem : Telemetry.Postmortem.snapshot option;
+      (** captured at the end of the run (the trunk degradation is the
+          trigger); same seed → the same snapshot, byte for byte *)
 }
 
 val canary_breach : ?num_hosts:int -> seed:int -> unit -> (breach, string) result
 (** A 3-switch fleet with [blast_radius = 0]: 6 ms into the first
     switch's canary the trunk link degrades to 95% loss, the liveness
     SLO fires, the switch rolls back, and the fleet aborts — the
-    remaining switches are never touched. *)
+    remaining switches are never touched.  Runs under a freshly
+    installed {!Telemetry.Eventlog} recorder (restored afterwards) and
+    finishes with a {!Telemetry.Postmortem.capture} whose timeline
+    names the trunk degradation as the root cause. *)
 
 val render_breach : breach -> string

@@ -21,8 +21,17 @@ let run () =
            Tables.f1 r.Costmodel.Cost.software;
          ])
        rows);
+  let savings = Costmodel.Cost.savings_vs_cots ~ports:48 in
   Printf.printf "\nSavings vs COTS SDN at 48 ports (brownfield): %s\n"
-    (Tables.pct (Costmodel.Cost.savings_vs_cots ~ports:48));
+    (Tables.pct savings);
+  (* The headline figure also lands on the flight recorder when one is
+     installed, so an experiment sweep shows up in a post-mortem's
+     event window like any other control-plane activity. *)
+  if Telemetry.Eventlog.enabled () then
+    Telemetry.Eventlog.emit ~stream:"experiment"
+      ~corr:(Telemetry.Eventlog.corr_of_string "e4-cost")
+      ~detail:(Printf.sprintf "e4-cost savings_vs_cots=%.3f ports=48" savings)
+      "headline";
   (match Costmodel.Cost.crossover_vs_cots ~max_ports:1024 with
   | Some p -> Printf.printf "Greenfield crossover vs COTS: %d ports\n" p
   | None ->

@@ -102,41 +102,77 @@ let give_up_error policy ~attempts e =
   if policy.max_attempts = 1 then e
   else Printf.sprintf "%s (gave up after %d attempts)" e attempts
 
-let run ?(policy = default) ?registry ?(op = "op") ?rng ?budget
+(* Flight-recorder events.  [?ts_ns] is [None] on the synchronous path
+   (no engine in reach) — the recorder falls back to the process-wide
+   clock a recording rig installs.  Guarded at every call site. *)
+let event ?ts_ns ?corr ~op ?level ~detail name =
+  let corr =
+    match corr with
+    | Some c -> c
+    | None -> Telemetry.Eventlog.corr_of_string ("retry:" ^ op)
+  in
+  Telemetry.Eventlog.emit ?level ?ts_ns ~corr ~detail ~stream:"retry" name
+
+let run ?(policy = default) ?registry ?(op = "op") ?corr ?rng ?budget
     ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) f =
   let rec attempt n =
     match f () with
     | Ok _ as ok -> ok
     | Error e when n >= policy.max_attempts ->
+        if Telemetry.Eventlog.enabled () then
+          event ?corr ~op ~level:Telemetry.Eventlog.Warn
+            ~detail:(Printf.sprintf "%s after %d attempt(s)" op n)
+            "gave_up";
         Error (give_up_error policy ~attempts:n e)
     | Error e -> (
         let delay = delay_before_attempt ?rng policy ~attempt:(n + 1) in
         match charge budget ~delay with
         | Error () ->
+            if Telemetry.Eventlog.enabled () then
+              event ?corr ~op ~level:Telemetry.Eventlog.Warn
+                ~detail:(Printf.sprintf "%s after %d attempt(s)" op n)
+                "deadline";
             Error (deadline_error ?registry ~op ~attempts:n (Option.get budget) e)
         | Ok () ->
             count_retry ?registry ~op ();
+            if Telemetry.Eventlog.enabled () then
+              event ?corr ~op ~level:Telemetry.Eventlog.Debug
+                ~detail:(Printf.sprintf "%s attempt=%d delay=%dns" op n delay)
+                "retry";
             on_retry ~attempt:n ~delay e;
             attempt (n + 1))
   in
   attempt 1
 
-let run_async engine ?(policy = default) ?registry ?(op = "op") ?rng ?budget
-    ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) f ~on_done =
+let run_async engine ?(policy = default) ?registry ?(op = "op") ?corr ?rng
+    ?budget ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) f ~on_done =
+  let now () = Sim_time.to_ns (Engine.now engine) in
   let rec attempt n () =
     match f () with
     | Ok _ as ok -> on_done ok
     | Error e when n >= policy.max_attempts ->
+        if Telemetry.Eventlog.enabled () then
+          event ~ts_ns:(now ()) ?corr ~op ~level:Telemetry.Eventlog.Warn
+            ~detail:(Printf.sprintf "%s after %d attempt(s)" op n)
+            "gave_up";
         on_done (Error (give_up_error policy ~attempts:n e))
     | Error e -> (
         let delay = delay_before_attempt ?rng policy ~attempt:(n + 1) in
         match charge budget ~delay with
         | Error () ->
+            if Telemetry.Eventlog.enabled () then
+              event ~ts_ns:(now ()) ?corr ~op ~level:Telemetry.Eventlog.Warn
+                ~detail:(Printf.sprintf "%s after %d attempt(s)" op n)
+                "deadline";
             on_done
               (Error
                  (deadline_error ?registry ~op ~attempts:n (Option.get budget) e))
         | Ok () ->
             count_retry ?registry ~op ();
+            if Telemetry.Eventlog.enabled () then
+              event ~ts_ns:(now ()) ?corr ~op ~level:Telemetry.Eventlog.Debug
+                ~detail:(Printf.sprintf "%s attempt=%d delay=%dns" op n delay)
+                "retry";
             on_retry ~attempt:n ~delay e;
             Engine.schedule_after engine delay (attempt (n + 1)))
   in

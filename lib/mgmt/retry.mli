@@ -79,7 +79,7 @@ val is_deadline_error : string -> bool
 
 val run :
   ?policy:policy -> ?registry:Telemetry.Registry.t -> ?op:string ->
-  ?rng:Simnet.Rng.t -> ?budget:budget ->
+  ?corr:int -> ?rng:Simnet.Rng.t -> ?budget:budget ->
   ?on_retry:(attempt:int -> delay:Simnet.Sim_time.span -> string -> unit) ->
   (unit -> ('a, string) result) -> ('a, string) result
 (** Synchronous retries: call [f] until it succeeds or [max_attempts] is
@@ -91,11 +91,17 @@ val run :
 
     [rng] feeds the policy's jitter; [budget] charges every backoff
     delay against a shared allowance and fails fast with a
-    ["deadline exceeded…"] error when the next delay would exceed it. *)
+    ["deadline exceeded…"] error when the next delay would exceed it.
+
+    When a {!Telemetry.Eventlog} recorder is installed, every retry,
+    deadline exhaustion and give-up also lands on the ["retry"] event
+    stream; [corr] sets the correlation id (default: derived from
+    [op]).  The synchronous path has no engine, so those events are
+    stamped by the recorder's fallback clock. *)
 
 val run_async :
   Simnet.Engine.t -> ?policy:policy -> ?registry:Telemetry.Registry.t ->
-  ?op:string -> ?rng:Simnet.Rng.t -> ?budget:budget ->
+  ?op:string -> ?corr:int -> ?rng:Simnet.Rng.t -> ?budget:budget ->
   ?on_retry:(attempt:int -> delay:Simnet.Sim_time.span -> string -> unit) ->
   (unit -> ('a, string) result) -> on_done:(('a, string) result -> unit) ->
   unit

@@ -34,12 +34,36 @@ let validate_entry = function
   | Stage_start s | Stage_done s -> validate_token "stage" s
   | Rolled_back | Committed -> ()
 
+let entry_kind = function
+  | Begin _ -> "begin"
+  | Stage_start _ -> "stage-start"
+  | Stage_done _ -> "stage-done"
+  | Note _ -> "note"
+  | Rollback _ -> "rollback"
+  | Rolled_back -> "rolled-back"
+  | Committed -> "committed"
+
+let entry_detail = function
+  | Begin d | Note d | Rollback d -> d
+  | Stage_start s | Stage_done s -> s
+  | Rolled_back | Committed -> ""
+
 let append t ~txn entry =
   validate_token "txn id" txn;
   validate_entry entry;
   let record = { txn; seq = t.next_seq; entry } in
   t.next_seq <- t.next_seq + 1;
   t.records <- record :: t.records;
+  (* The event lands after the record is persisted and before any armed
+     crash fires — mirroring what a real WAL writer would have managed
+     to log, so a post-mortem of a crash sweep shows the record that
+     made it to disk. *)
+  if Telemetry.Eventlog.enabled () then
+    Telemetry.Eventlog.emit
+      ~corr:(Telemetry.Eventlog.corr_of_string txn)
+      ~detail:
+        (match entry_detail entry with "" -> txn | d -> txn ^ " " ^ d)
+      ~stream:"txn" (entry_kind entry);
   if t.crash_in > 0 then begin
     t.crash_in <- t.crash_in - 1;
     if t.crash_in = 0 then raise Crashed

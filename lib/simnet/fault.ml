@@ -165,6 +165,14 @@ let register t ~target handler =
 let targets t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.handlers [] |> List.sort compare
 
+let action_verb = function
+  | Down -> "down"
+  | Up -> "up"
+  | Degrade _ -> "degrade"
+  | Flaky _ -> "flaky"
+  | Crash -> "crash"
+  | Restart -> "restart"
+
 let fire t event =
   let outcome =
     match Hashtbl.find_opt t.handlers event.target with
@@ -174,6 +182,20 @@ let fire t event =
         | outcome -> outcome
         | exception Invalid_argument msg -> Error msg)
   in
+  (* Every injection lands on the flight recorder's "fault" stream —
+     the trigger (and root cause) a post-mortem pivots on. *)
+  if Telemetry.Eventlog.enabled () then
+    Telemetry.Eventlog.emit
+      ~level:
+        (match outcome with
+        | Ok () -> Telemetry.Eventlog.Warn
+        | Error _ -> Telemetry.Eventlog.Error)
+      ~ts_ns:(Sim_time.to_ns (Engine.now t.engine))
+      ~corr:(Telemetry.Eventlog.corr_of_string event.target)
+      ~detail:
+        (Format.asprintf "%s %a%s" event.target pp_action event.action
+           (match outcome with Ok () -> "" | Error e -> " FAILED: " ^ e))
+      ~stream:"fault" (action_verb event.action);
   t.log <- { at = Engine.now t.engine; event; outcome } :: t.log
 
 let schedule t events =

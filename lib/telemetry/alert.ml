@@ -79,7 +79,7 @@ let state_name = function
   | Firing _ -> "firing"
 
 let transition t rule ~now_ns ~value next =
-  if state_name rule.state <> state_name next then
+  if state_name rule.state <> state_name next then begin
     t.log <-
       {
         at_ns = now_ns;
@@ -89,6 +89,21 @@ let transition t rule ~now_ns ~value next =
         value;
       }
       :: t.log;
+    if Eventlog.enabled () then
+      Eventlog.emit
+        ~level:
+          (match next with
+          | Firing _ -> Eventlog.Error
+          | Pending _ -> Eventlog.Warn
+          | Ok -> Eventlog.Info)
+        ~ts_ns:now_ns
+        ~corr:(Eventlog.corr_of_string rule.rule_name)
+        ~detail:
+          (match value with
+          | None -> rule.rule_name
+          | Some v -> Printf.sprintf "%s value=%g" rule.rule_name v)
+        ~stream:"alert" (state_name next)
+  end;
   rule.state <- next
 
 let eval_rule t rule ~now_ns =

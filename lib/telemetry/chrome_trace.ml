@@ -23,7 +23,61 @@ let tids hops =
 
 let us_of_ns ns = float_of_int ns /. 1e3
 
-let to_json ?(cycles_per_us = 2400.0) ?(spans = []) hops =
+(* Flight-recorder events render as instant ("i") events on one pseudo
+   thread per stream, carrying the correlation id in args in the same
+   "%08x" form as the hops' trace_key — Perfetto's args search joins
+   the two. *)
+let eventlog_events tid_base (events : Eventlog.event list) =
+  let streams =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Eventlog.event) -> e.Eventlog.stream) events)
+  in
+  let tid_of =
+    List.mapi (fun i stream -> (stream, tid_base + i)) streams
+  in
+  let meta =
+    List.map
+      (fun (stream, tid) ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("ts", Json.Int 0);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.Str ("events:" ^ stream)) ]);
+          ])
+      tid_of
+  in
+  let instant (e : Eventlog.event) =
+    let args =
+      [
+        ("level", Json.Str (Eventlog.level_name e.Eventlog.level));
+        ("seq", Json.Int e.Eventlog.seq);
+      ]
+      @ (if e.Eventlog.corr <> 0 then
+           [ ("trace_key", Json.Str (Printf.sprintf "%08x" e.Eventlog.corr)) ]
+         else [])
+      @
+      if e.Eventlog.detail <> "" then
+        [ ("detail", Json.Str e.Eventlog.detail) ]
+      else []
+    in
+    Json.Obj
+      [
+        ("name", Json.Str (e.Eventlog.stream ^ "." ^ e.Eventlog.name));
+        ("cat", Json.Str "eventlog");
+        ("ph", Json.Str "i");
+        ("s", Json.Str "t");
+        ("ts", Json.Float (us_of_ns e.Eventlog.ts_ns));
+        ("pid", Json.Int pid);
+        ("tid", Json.Int (List.assoc e.Eventlog.stream tid_of));
+        ("args", Json.Obj args);
+      ]
+  in
+  meta @ List.map instant events
+
+let to_json ?(cycles_per_us = 2400.0) ?(spans = []) ?(events = []) hops =
   let tid_of, components = tids hops in
   let meta =
     List.map
@@ -67,13 +121,17 @@ let to_json ?(cycles_per_us = 2400.0) ?(spans = []) hops =
         ("args", Json.Obj args);
       ]
   in
-  Json.Arr (meta @ List.map event hops @ Span.chrome_events spans)
+  Json.Arr
+    (meta
+    @ List.map event hops
+    @ Span.chrome_events spans
+    @ eventlog_events (List.length components + 1) events)
 
-let to_string ?cycles_per_us ?spans hops =
-  Json.to_string_lines (to_json ?cycles_per_us ?spans hops)
+let to_string ?cycles_per_us ?spans ?events hops =
+  Json.to_string_lines (to_json ?cycles_per_us ?spans ?events hops)
 
-let save ?cycles_per_us ?spans hops ~path =
+let save ?cycles_per_us ?spans ?events hops ~path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?cycles_per_us ?spans hops))
+    (fun () -> output_string oc (to_string ?cycles_per_us ?spans ?events hops))

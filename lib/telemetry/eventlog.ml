@@ -1,0 +1,245 @@
+(* The control-plane flight recorder.
+
+   One bounded ring per stream so a chatty subsystem (per-message
+   channel drops under loss) can never evict the quiet one that holds
+   the root cause (the single fault injection).  Everything is
+   deterministic for a deterministic run: sequence numbers are
+   per-recorder, timestamps come from the engine clock, correlation
+   ids are hashes of stable names. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  seq : int;
+  ts_ns : int;
+  level : level;
+  stream : string;
+  name : string;
+  corr : int;
+  detail : string;
+}
+
+(* Fixed-capacity ring of events, oldest evicted first. *)
+type ring = {
+  data : event array;
+  mutable start : int; (* index of the oldest event *)
+  mutable len : int;
+}
+
+let dummy_event =
+  { seq = 0; ts_ns = 0; level = Debug; stream = ""; name = ""; corr = 0; detail = "" }
+
+let ring_create capacity =
+  { data = Array.make capacity dummy_event; start = 0; len = 0 }
+
+(* Returns true when an old event was evicted. *)
+let ring_push r e =
+  let cap = Array.length r.data in
+  if r.len < cap then begin
+    r.data.((r.start + r.len) mod cap) <- e;
+    r.len <- r.len + 1;
+    false
+  end
+  else begin
+    r.data.(r.start) <- e;
+    r.start <- (r.start + 1) mod cap;
+    true
+  end
+
+let ring_to_list r =
+  List.init r.len (fun i -> r.data.((r.start + i) mod Array.length r.data))
+
+type t = {
+  stream_capacity : int;
+  rings : (string, ring) Hashtbl.t;
+  mutable next_seq : int;
+  mutable recorded : int;
+  mutable dropped : int;
+}
+
+let create ?(stream_capacity = 512) () =
+  if stream_capacity < 2 then
+    invalid_arg "Eventlog.create: stream_capacity < 2";
+  {
+    stream_capacity;
+    rings = Hashtbl.create 16;
+    next_seq = 1;
+    recorded = 0;
+    dropped = 0;
+  }
+
+let recorder : t option ref = ref None
+
+let install t = recorder := Some t
+
+let uninstall t =
+  match !recorder with
+  | Some r when r == t -> recorder := None
+  | Some _ | None -> ()
+
+let enabled () = Option.is_some !recorder
+
+let clock : (unit -> int) option ref = ref None
+let set_clock f = clock := f
+
+let corr_of_string s =
+  match Hashtbl.hash s with 0 -> 1 | h -> h
+
+let corr_counter = ref 0
+
+let fresh_corr () =
+  incr corr_counter;
+  (* Keep fresh ids out of the low range where string hashes live, so
+     the two families cannot collide by accident in small tests. *)
+  !corr_counter lor 0x40000000
+
+let is_token s =
+  s <> ""
+  && not (String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') s)
+
+let validate_token what s =
+  if not (is_token s) then
+    invalid_arg (Printf.sprintf "Eventlog.emit: %s must be a non-empty token: %S" what s)
+
+let sanitize_detail s =
+  if String.contains s '\n' then
+    String.map (function '\n' -> ' ' | c -> c) s
+  else s
+
+let emit ?(level = Info) ?ts_ns ?(corr = 0) ?(detail = "") ~stream name =
+  match !recorder with
+  | None -> ()
+  | Some t ->
+      validate_token "stream" stream;
+      validate_token "event name" name;
+      let ts_ns =
+        match ts_ns with
+        | Some ts -> ts
+        | None -> ( match !clock with Some f -> f () | None -> 0)
+      in
+      let e =
+        {
+          seq = t.next_seq;
+          ts_ns;
+          level;
+          stream;
+          name;
+          corr;
+          detail = sanitize_detail detail;
+        }
+      in
+      t.next_seq <- t.next_seq + 1;
+      t.recorded <- t.recorded + 1;
+      let ring =
+        match Hashtbl.find_opt t.rings stream with
+        | Some r -> r
+        | None ->
+            let r = ring_create t.stream_capacity in
+            Hashtbl.replace t.rings stream r;
+            r
+      in
+      if ring_push ring e then t.dropped <- t.dropped + 1
+
+let streams t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.rings [] |> List.sort String.compare
+
+let events ?stream ?min_level t =
+  let keep e =
+    match min_level with
+    | None -> true
+    | Some l -> level_rank e.level >= level_rank l
+  in
+  let of_ring r = List.filter keep (ring_to_list r) in
+  let all =
+    match stream with
+    | Some s -> (
+        match Hashtbl.find_opt t.rings s with
+        | Some r -> of_ring r
+        | None -> [])
+    | None -> List.concat_map (fun s -> of_ring (Hashtbl.find t.rings s)) (streams t)
+  in
+  List.sort
+    (fun a b ->
+      match compare a.ts_ns b.ts_ns with 0 -> compare a.seq b.seq | c -> c)
+    all
+
+let recorded t = t.recorded
+let dropped t = t.dropped
+
+let clear t =
+  Hashtbl.reset t.rings;
+  t.next_seq <- 1;
+  t.recorded <- 0;
+  t.dropped <- 0
+
+let with_recorder ?stream_capacity f =
+  let t = create ?stream_capacity () in
+  let saved = !recorder in
+  install t;
+  Fun.protect
+    ~finally:(fun () -> recorder := saved)
+    (fun () ->
+      let result = f t in
+      (result, events t))
+
+(* ---- line format ---- *)
+
+let event_to_string e =
+  if e.detail = "" then
+    Printf.sprintf "event %d %d %s %s %08x %s" e.seq e.ts_ns
+      (level_name e.level) e.stream e.corr e.name
+  else
+    Printf.sprintf "event %d %d %s %s %08x %s %s" e.seq e.ts_ns
+      (level_name e.level) e.stream e.corr e.name e.detail
+
+let split_word s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let event_of_string line =
+  let line = String.trim line in
+  let kw, rest = split_word line in
+  if kw <> "event" then Stdlib.Error "expected 'event'"
+  else
+    let seq_s, rest = split_word rest in
+    let ts_s, rest = split_word rest in
+    let level_s, rest = split_word rest in
+    let stream, rest = split_word rest in
+    let corr_s, rest = split_word rest in
+    let name, detail = split_word rest in
+    match
+      ( int_of_string_opt seq_s,
+        int_of_string_opt ts_s,
+        level_of_string level_s,
+        int_of_string_opt ("0x" ^ corr_s) )
+    with
+    | Some seq, Some ts_ns, Some level, Some corr when is_token stream && is_token name
+      ->
+        Stdlib.Ok { seq; ts_ns; level; stream; name; corr; detail }
+    | _ -> Stdlib.Error (Printf.sprintf "malformed event line %S" line)
+
+let pp_event fmt e =
+  Format.fprintf fmt "%-10s %-5s %-20s"
+    (Format.asprintf "%a" Trace.pp_time e.ts_ns)
+    (level_name e.level)
+    (e.stream ^ "." ^ e.name);
+  if e.corr <> 0 then Format.fprintf fmt " [%08x]" e.corr
+  else Format.fprintf fmt "           ";
+  if e.detail <> "" then Format.fprintf fmt "  %s" e.detail

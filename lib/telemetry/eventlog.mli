@@ -1,0 +1,124 @@
+(** The control-plane flight recorder: an always-installable, bounded
+    ring of typed, leveled, sim-time-stamped events with one stream per
+    subsystem, carrying a {e correlation id} that joins related events
+    across subsystems — and, because the id space is shared with
+    {!Trace.key_of_packet}, joins control-plane decisions to the
+    dataplane traffic that triggered them.
+
+    Like {!Trace}, the default state is {e off}: no recorder installed,
+    and a call site guarded by {!enabled} pays one ref read and
+    allocates exactly zero minor words (pinned by test).  Installing a
+    recorder turns every instrumented subsystem — channel
+    connect/drop/reconnect, retry attempts, WAL appends, migration
+    stage boundaries, failover activations, poller rounds, fault
+    injections, alert transitions — into a correlated event log whose
+    memory is bounded per stream no matter how long the run is.
+
+    {2 Correlation ids}
+
+    Ids are plain ints.  [0] means "uncorrelated".  Instrumentation
+    derives ids deterministically from stable names via
+    {!corr_of_string} (a migration machine uses its txn id, a channel
+    its switch name, an alert rule its rule name), so a same-seed rerun
+    produces the same ids — the post-mortem determinism contract.
+    Packet-correlated events use {!Trace.key_of_packet} directly, which
+    is what makes event↔span joins work in the Chrome trace export.
+
+    {2 Clock}
+
+    [emit] sites that know their engine pass [~ts_ns] explicitly.
+    Sites with no time source (the synchronous retry loop, WAL appends)
+    fall back to the process-wide clock installed with {!set_clock};
+    with no clock installed their events are stamped [0].  Rigs that
+    record set the clock to their engine for the duration of the run. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> level option
+
+type event = {
+  seq : int;  (** per-recorder emission order, 1-based *)
+  ts_ns : int;
+  level : level;
+  stream : string;  (** emitting subsystem, a token: ["channel"], ["txn"], … *)
+  name : string;  (** short verb token: ["reconnect"], ["rollback"], … *)
+  corr : int;  (** correlation id; [0] = uncorrelated *)
+  detail : string;  (** free text, single line *)
+}
+
+type t
+
+val create : ?stream_capacity:int -> unit -> t
+(** A fresh recorder.  Each stream keeps at most [stream_capacity]
+    events (default 512); older ones are evicted and counted in
+    {!dropped}.  @raise Invalid_argument if [stream_capacity < 2]. *)
+
+val install : t -> unit
+(** Make [t] the process-wide recorder. *)
+
+val uninstall : t -> unit
+(** Remove the recorder if [t] is the one installed. *)
+
+val enabled : unit -> bool
+(** True iff a recorder is installed.  Instrumentation sites guard
+    their emit (and any detail-string formatting) behind this. *)
+
+val set_clock : (unit -> int) option -> unit
+(** Install ([Some f]) or remove the fallback timestamp source used by
+    {!emit} when [~ts_ns] is not passed. *)
+
+val corr_of_string : string -> int
+(** A stable, non-zero correlation id for a name.  Same hash family as
+    {!Trace.key_of_packet}, so the two id spaces render identically. *)
+
+val fresh_corr : unit -> int
+(** A process-unique id for events with no stable name to hash.
+    Prefer {!corr_of_string} wherever a name exists — fresh ids are
+    not stable across runs. *)
+
+val emit :
+  ?level:level ->
+  ?ts_ns:int ->
+  ?corr:int ->
+  ?detail:string ->
+  stream:string ->
+  string ->
+  unit
+(** [emit ~stream name] records one event ([level] defaults to [Info],
+    [corr] to [0]); a no-op when no recorder is installed.  Newlines in
+    [detail] become spaces (events are single lines).
+    @raise Invalid_argument if [stream] or [name] is empty or contains
+    whitespace — they must be tokens. *)
+
+val events : ?stream:string -> ?min_level:level -> t -> event list
+(** The retained events, merged across streams in emission order
+    ([(ts_ns, seq)]), optionally restricted to one stream and/or to
+    levels at or above [min_level]. *)
+
+val streams : t -> string list
+(** Streams that have recorded at least one event, sorted. *)
+
+val recorded : t -> int
+(** Events ever emitted into this recorder, including evicted ones. *)
+
+val dropped : t -> int
+(** Events evicted by ring wrap-around. *)
+
+val clear : t -> unit
+
+val with_recorder : ?stream_capacity:int -> (t -> 'a) -> 'a * event list
+(** Run [f] with a fresh recorder installed, restoring the previous
+    one afterwards (also on exceptions); returns [f]'s result and the
+    retained events. *)
+
+val event_to_string : event -> string
+(** ["event <seq> <ts_ns> <level> <stream> <corr-hex8> <name> [detail]"]
+    — the snapshot line format, parsed back by {!event_of_string}. *)
+
+val event_of_string : string -> (event, string) result
+
+val pp_event : Format.formatter -> event -> unit
+(** Human-readable: time, level, stream.name, corr, detail. *)

@@ -1,0 +1,286 @@
+(* The flight recorder and the post-mortem plane: per-stream ring
+   bounds, the zero-cost disabled path, event line round-trips, the
+   corr-id join with the packet tracer through the Chrome trace export,
+   capture-at-finalize semantics, snapshot serialization, and the
+   canary-breach root-cause golden. *)
+
+open Telemetry
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let check_contains what ~needle hay =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in:\n%s" what needle hay
+
+let count_occurrences hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i acc =
+    if i + ln > lh then acc
+    else if String.sub hay i ln = needle then go (i + ln) (acc + 1)
+    else go (i + 1) acc
+  in
+  if ln = 0 then 0 else go 0 0
+
+let words () = int_of_float (Gc.minor_words ())
+
+let test_pkt =
+  Netpkt.Packet.udp
+    ~dst:(Netpkt.Mac_addr.make_local 4)
+    ~src:(Netpkt.Mac_addr.make_local 3)
+    ~ip_src:(Netpkt.Ipv4_addr.of_string "10.9.0.1")
+    ~ip_dst:(Netpkt.Ipv4_addr.of_string "10.9.0.2")
+    ~src_port:7 ~dst_port:8 "y"
+
+(* ---- the recorder itself ---- *)
+
+let recorder_tests =
+  [
+    tc "per-stream ring wraps, keeps the newest, counts evictions"
+      (fun () ->
+        let (), retained =
+          Eventlog.with_recorder ~stream_capacity:4 (fun r ->
+              for i = 1 to 10 do
+                Eventlog.emit ~ts_ns:i ~stream:"s"
+                  ~detail:(Printf.sprintf "n%d" i) "tick"
+              done;
+              check Alcotest.int "recorded counts evicted too" 10
+                (Eventlog.recorded r);
+              check Alcotest.int "dropped = overflow" 6 (Eventlog.dropped r))
+        in
+        check Alcotest.int "ring retains capacity" 4 (List.length retained);
+        check
+          Alcotest.(list int)
+          "newest survive, in order" [ 7; 8; 9; 10 ]
+          (List.map (fun (e : Eventlog.event) -> e.Eventlog.seq) retained));
+    tc "streams are bounded independently and merge by (ts, seq)"
+      (fun () ->
+        let (), retained =
+          Eventlog.with_recorder ~stream_capacity:2 (fun r ->
+              Eventlog.emit ~ts_ns:5 ~stream:"b" "one";
+              Eventlog.emit ~ts_ns:1 ~stream:"a" "one";
+              Eventlog.emit ~ts_ns:9 ~stream:"a" "two";
+              Eventlog.emit ~ts_ns:3 ~stream:"a" "three";
+              (* "a" wrapped (capacity 2); "b" did not. *)
+              check Alcotest.int "one eviction" 1 (Eventlog.dropped r);
+              check
+                Alcotest.(list string)
+                "streams sorted" [ "a"; "b" ] (Eventlog.streams r);
+              check Alcotest.int "stream filter" 2
+                (List.length (Eventlog.events ~stream:"a" r)))
+        in
+        check
+          Alcotest.(list string)
+          "merged (ts, seq) order" [ "three"; "one"; "two" ]
+          (List.map (fun (e : Eventlog.event) -> e.Eventlog.name) retained));
+    tc "min_level filters, levels order debug < info < warn < error"
+      (fun () ->
+        let (), _ =
+          Eventlog.with_recorder (fun r ->
+              Eventlog.emit ~level:Eventlog.Debug ~ts_ns:1 ~stream:"s" "d";
+              Eventlog.emit ~level:Eventlog.Info ~ts_ns:2 ~stream:"s" "i";
+              Eventlog.emit ~level:Eventlog.Warn ~ts_ns:3 ~stream:"s" "w";
+              Eventlog.emit ~level:Eventlog.Error ~ts_ns:4 ~stream:"s" "e";
+              check Alcotest.int "warn and up" 2
+                (List.length (Eventlog.events ~min_level:Eventlog.Warn r)))
+        in
+        ());
+    tc "stream and name must be tokens" (fun () ->
+        let (), _ =
+          Eventlog.with_recorder (fun _ ->
+              Alcotest.check_raises "space in stream"
+                (Invalid_argument
+                   "Eventlog.emit: stream must be a non-empty token: \"a b\"")
+                (fun () -> Eventlog.emit ~stream:"a b" "x");
+              Alcotest.check_raises "empty name"
+                (Invalid_argument
+                   "Eventlog.emit: event name must be a non-empty token: \"\"")
+                (fun () -> Eventlog.emit ~stream:"s" ""))
+        in
+        ());
+    tc "corr_of_string is stable and never zero" (fun () ->
+        let c = Eventlog.corr_of_string "channel:chaos-legacy-ss2" in
+        check Alcotest.int "same name, same id" c
+          (Eventlog.corr_of_string "channel:chaos-legacy-ss2");
+        check Alcotest.bool "nonzero" true (c <> 0));
+    tc "guarded no-op Eventlog.emit allocates exactly zero minor words"
+      (fun () ->
+        check Alcotest.bool "no recorder" false (Eventlog.enabled ());
+        let emit_guarded () =
+          if Eventlog.enabled () then
+            Eventlog.emit ~ts_ns:0 ~stream:"eventlog" "noop"
+        in
+        emit_guarded ();
+        let before = words () in
+        for _ = 1 to 10_000 do
+          emit_guarded ()
+        done;
+        check Alcotest.int "minor words delta over 10k emits" 0
+          (words () - before));
+    tc "event line round-trips through to_string/of_string" (fun () ->
+        let (), retained =
+          Eventlog.with_recorder (fun _ ->
+              Eventlog.emit ~level:Eventlog.Warn ~ts_ns:4_200_000
+                ~corr:(Eventlog.corr_of_string "trunk:primary")
+                ~detail:"trunk:primary degrade loss=0.95" ~stream:"fault"
+                "degrade")
+        in
+        let e = List.hd retained in
+        let line = Eventlog.event_to_string e in
+        match Eventlog.event_of_string line with
+        | Error msg -> Alcotest.failf "parse failed: %s (%s)" msg line
+        | Ok e' ->
+            check Alcotest.string "line is a fixpoint" line
+              (Eventlog.event_to_string e');
+            check Alcotest.int "corr preserved" e.Eventlog.corr
+              e'.Eventlog.corr;
+            check Alcotest.string "detail preserved" e.Eventlog.detail
+              e'.Eventlog.detail);
+  ]
+
+(* ---- the corr-id join with the packet tracer ---- *)
+
+let join_tests =
+  [
+    tc "event and hop share one trace_key through the Chrome export"
+      (fun () ->
+        let key = Trace.key_of_packet test_pkt in
+        let (), traces =
+          Trace.with_collector (fun _ ->
+              Trace.emit ~ts_ns:10 ~component:"host0" ~layer:Trace.Host
+                ~stage:"tx" ~cycles:0 test_pkt)
+        in
+        let hops = List.concat_map (fun tr -> tr.Trace.hops) traces in
+        let (), events =
+          Eventlog.with_recorder (fun _ ->
+              Eventlog.emit ~level:Eventlog.Debug ~ts_ns:20 ~corr:key
+                ~detail:"dpid:2 port=0" ~stream:"controller" "packet-in")
+        in
+        let out = Chrome_trace.to_string ~events hops in
+        let needle = Printf.sprintf "\"%08x\"" key in
+        check Alcotest.int
+          "trace_key appears in both the hop and the instant event" 2
+          (count_occurrences out needle);
+        check_contains "instant phase present" ~needle:"\"ph\":\"i\"" out;
+        check_contains "per-stream pseudo thread"
+          ~needle:"events:controller" out);
+  ]
+
+(* ---- capture-at-finalize and snapshot serialization ---- *)
+
+let postmortem_tests =
+  [
+    tc "uneventful recording captures nothing" (fun () ->
+        let snap, _ =
+          Eventlog.with_recorder (fun r ->
+              Eventlog.emit ~ts_ns:1 ~stream:"channel" "connect";
+              Postmortem.capture ~scenario:"quiet" ~seed:1 ~captured_ns:10 r)
+        in
+        check Alcotest.bool "no trigger, no snapshot" true (snap = None));
+    tc "capture windows events around the first trigger" (fun () ->
+        let snap, _ =
+          Eventlog.with_recorder (fun r ->
+              Eventlog.emit ~ts_ns:1_000_000 ~stream:"channel" "connect";
+              Eventlog.emit ~ts_ns:20_000_000 ~stream:"channel" "drop";
+              Eventlog.emit ~level:Eventlog.Warn ~ts_ns:30_000_000
+                ~corr:(Eventlog.corr_of_string "trunk:primary")
+                ~detail:"trunk:primary down" ~stream:"fault" "down";
+              Eventlog.emit ~level:Eventlog.Error ~ts_ns:31_000_000
+                ~corr:(Eventlog.corr_of_string "slo") ~detail:"slo value=0"
+                ~stream:"alert" "firing";
+              Postmortem.capture ~scenario:"windowed" ~seed:7
+                ~captured_ns:40_000_000 r)
+        in
+        match snap with
+        | None -> Alcotest.fail "expected a snapshot"
+        | Some s ->
+            check Alcotest.int "window start = trigger - 5ms" 25_000_000
+              s.Postmortem.window_start_ns;
+            check Alcotest.int "pre-trigger noise excluded" 2
+              (List.length s.Postmortem.events);
+            check Alcotest.int "one trigger each kind" 2
+              (List.length s.Postmortem.triggers);
+            let tl = Postmortem.analyze s in
+            (match tl.Postmortem.root_cause with
+            | Some e ->
+                check Alcotest.string "root cause is the fault" "fault"
+                  e.Eventlog.stream
+            | None -> Alcotest.fail "expected a root cause");
+            (* serialization round-trip is a fixpoint *)
+            let text = Postmortem.to_string s in
+            (match Postmortem.of_string text with
+            | Error msg -> Alcotest.failf "snapshot parse failed: %s" msg
+            | Ok s' ->
+                check Alcotest.string "to_string fixpoint" text
+                  (Postmortem.to_string s'));
+            check_contains "render names the root cause"
+              ~needle:"root cause: fault down" (Postmortem.render s));
+  ]
+
+(* ---- the golden: the injected fault is the timeline's root cause ---- *)
+
+let golden_tests =
+  [
+    tc "canary breach post-mortem names the trunk degrade as root cause"
+      (fun () ->
+        match Harmless.Migration_rig.canary_breach ~seed:42 () with
+        | Error msg -> Alcotest.failf "breach scenario failed: %s" msg
+        | Ok br -> (
+            match br.Harmless.Migration_rig.postmortem with
+            | None -> Alcotest.fail "breach must capture a post-mortem"
+            | Some s ->
+                let tl = Postmortem.analyze s in
+                (match tl.Postmortem.root_cause with
+                | None -> Alcotest.fail "expected a root cause"
+                | Some e ->
+                    check Alcotest.string "fault stream" "fault"
+                      e.Eventlog.stream;
+                    check Alcotest.string "degrade action" "degrade"
+                      e.Eventlog.name;
+                    check_contains "the injected target"
+                      ~needle:"trunk:sw0" e.Eventlog.detail);
+                let report = Postmortem.render s in
+                check_contains "causal chain reaches the rollback"
+                  ~needle:"migration.rollback sw0" report;
+                check_contains "causal chain reaches the fleet abort"
+                  ~needle:"fleet.abort" report;
+                check_contains "liveness breach on the timeline"
+                  ~needle:"alert.firing probe-liveness" report));
+    tc "same seed, same snapshot (modulo process-global dpids)" (fun () ->
+        (* Datapath ids come from a process-global counter, so two
+           in-process runs disagree on them (and on the poller corr
+           derived from them); byte-for-byte identity across fresh
+           processes is what CI's cmp checks.  Everything else must
+           match exactly. *)
+        let normalize s =
+          let s =
+            Str.global_replace (Str.regexp "dpid:[0-9a-f]+") "dpid:_" s
+          in
+          Str.global_replace
+            (Str.regexp "\\(poller \\)[0-9a-f]+")
+            "\\1________" s
+        in
+        let snap_of () =
+          match Harmless.Migration_rig.canary_breach ~seed:1337 () with
+          | Error msg -> Alcotest.failf "breach scenario failed: %s" msg
+          | Ok br -> (
+              match br.Harmless.Migration_rig.postmortem with
+              | None -> Alcotest.fail "breach must capture a post-mortem"
+              | Some s -> normalize (Postmortem.to_string s))
+        in
+        check Alcotest.string "deterministic capture" (snap_of ())
+          (snap_of ()));
+  ]
+
+let suite =
+  [
+    ("eventlog recorder", recorder_tests);
+    ("eventlog trace join", join_tests);
+    ("postmortem capture", postmortem_tests);
+    ("postmortem golden", golden_tests);
+  ]

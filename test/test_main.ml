@@ -10,4 +10,5 @@ let () =
    @ Test_dns.suite @ Test_port_status.suite @ Test_impairments.suite @ Test_tcp_session.suite @ Test_inventory.suite @ Test_sampling.suite @ Test_properties.suite
    @ Test_telemetry.suite @ Test_fault.suite @ Test_chaos.suite
    @ Test_timeseries.suite @ Test_poller.suite @ Test_check.suite
-   @ Test_perf.suite @ Test_memtel.suite @ Test_migration.suite)
+   @ Test_perf.suite @ Test_memtel.suite @ Test_migration.suite
+   @ Test_eventlog.suite)
