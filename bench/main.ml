@@ -382,6 +382,55 @@ let fuzz_tests =
              ignore (Check.Codec_fuzz.check_frame frame)));
     ]
 
+(* ---- policy/* : the NetKAT-lite compiler and its tables ----
+
+   "compile-gateway" is the whole pipeline — compose the four resident
+   apps, build the FDD, extract and minimize the single table — i.e. the
+   controller-side cost of a config push.  The lookup benches then price
+   that composed table on each dataplane backend, the companion to
+   lookup/* for policy-generated (match-heterogeneous) rules rather than
+   synthetic eth_dst ladders. *)
+
+let policy_tests =
+  let g = Sdnctl.Gateway.default () in
+  let pol = Sdnctl.Gateway.policy g in
+  let compiled_msgs = Policy.Compile.messages (Policy.Compile.compile pol) in
+  let mk_lookup (name, create) =
+    let pipeline = Openflow.Pipeline.create ~num_tables:1 () in
+    let dp = create pipeline in
+    List.iter (Check.Differential.apply_message pipeline ~now_ns:0) compiled_msgs;
+    let packets =
+      [|
+        (* metered subscriber band (meter + eth_dst product rules) *)
+        Netpkt.Packet.udp ~dst:(mac 0x102) ~src:(mac 0x101)
+          ~ip_src:(ip "10.1.0.1") ~ip_dst:(ip "10.1.0.2") ~src_port:4000
+          ~dst_port:53 "x";
+        (* vip rule into the select group *)
+        Netpkt.Packet.udp ~dst:(mac 0x310) ~src:(mac 0x103)
+          ~ip_src:(ip "10.1.0.3") ~ip_dst:(ip "10.3.0.10") ~src_port:4000
+          ~dst_port:80 "x";
+        (* plain L2 fallback band *)
+        Netpkt.Packet.udp ~dst:(mac 0x104) ~src:(mac 0x103)
+          ~ip_src:(ip "10.1.0.3") ~ip_dst:(ip "10.1.0.4") ~src_port:4000
+          ~dst_port:53 "x";
+      |]
+    in
+    let in_ports = [| 0; 2; 2 |] in
+    let i = ref 0 in
+    Test.make
+      ~name:(Printf.sprintf "lookup-%s" name)
+      (Staged.stage (fun () ->
+           let k = !i mod 3 in
+           incr i;
+           ignore
+             (dp.Softswitch.Dataplane.process ~now_ns:0 ~in_port:in_ports.(k)
+                packets.(k))))
+  in
+  Test.make_grouped ~name:"policy"
+    (Test.make ~name:"compile-gateway"
+       (Staged.stage (fun () -> ignore (Policy.Compile.compile pol)))
+    :: List.map mk_lookup Softswitch.Backends.all)
+
 let all_tests =
   [
     lookup_tests;
@@ -397,6 +446,7 @@ let all_tests =
     ablation_tests;
     trace_tests;
     fuzz_tests;
+    policy_tests;
   ]
 
 type row = {

@@ -639,6 +639,137 @@ let fuzz_cmd =
       const run_fuzz $ fuzz_cases_arg $ fuzz_seed_arg $ fuzz_dir_arg
       $ fuzz_replay_arg)
 
+(* ---- policy: compile dump + differential equivalence ---- *)
+
+let run_policy_compile spec_name =
+  match Check.Policy_equiv.find_spec spec_name with
+  | None ->
+      Printf.eprintf "policy compile: unknown spec %S (have: %s)\n" spec_name
+        (String.concat ", "
+           (List.map
+              (fun s -> s.Check.Policy_equiv.spec_name)
+              (Check.Policy_equiv.specs ())));
+      exit 2
+  | Some spec ->
+      let c = Policy.Compile.compile spec.Check.Policy_equiv.policy in
+      print_string (Policy.Compile.render c)
+
+let run_policy_check cases seed repro_dir replay only =
+  let failed = ref false in
+  (match replay with
+  | Some path -> (
+      match Check.Policy_equiv.load ~path with
+      | Error e ->
+          Printf.printf "%s: parse error: %s\n" path e;
+          failed := true
+      | Ok None -> Printf.printf "%s: no divergence (bug is fixed)\n" path
+      | Ok (Some d) ->
+          Format.printf "%s reproduces:@.%a@." path
+            Check.Policy_equiv.pp_divergence d;
+          failed := true)
+  | None ->
+      let specs =
+        match only with
+        | None -> Check.Policy_equiv.specs ()
+        | Some name -> (
+            match Check.Policy_equiv.find_spec name with
+            | Some s -> [ s ]
+            | None ->
+                Printf.eprintf "policy check: unknown spec %S\n" name;
+                exit 2)
+      in
+      let saved = ref 0 in
+      List.iter
+        (fun spec ->
+          let on_divergence (d : Check.Policy_equiv.divergence) =
+            Format.printf "@.%a@." Check.Policy_equiv.pp_divergence d;
+            (try Unix.mkdir repro_dir 0o755 with Unix.Unix_error _ -> ());
+            let path =
+              Filename.concat repro_dir
+                (Printf.sprintf "policy_divergence_%d.repro" !saved)
+            in
+            incr saved;
+            Check.Policy_equiv.save ~path
+              ~comment:
+                (Printf.sprintf "%s diverged at step %d" d.impl d.step_index)
+              d.case;
+            Printf.printf "repro written to %s\n" path
+          in
+          let t0 = Unix.gettimeofday () in
+          let r = Check.Policy_equiv.run ~on_divergence ~spec ~seed ~cases () in
+          let dt = Unix.gettimeofday () -. t0 in
+          Printf.printf
+            "%-10s %d cases, %d packet comparisons, %d divergences (%.0f \
+             cases/s)\n"
+            spec.Check.Policy_equiv.spec_name r.Check.Policy_equiv.cases
+            r.packets
+            (List.length r.divergences)
+            (float_of_int r.Check.Policy_equiv.cases /. Float.max 1e-9 dt);
+          if r.Check.Policy_equiv.divergences <> [] then failed := true)
+        specs);
+  if !failed then exit 1
+
+let policy_spec_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SPEC"
+        ~doc:"Spec to compile: dmz, lb, parental, ratelimit or gateway.")
+
+let policy_compile_cmd =
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "compile a built-in scenario's policy to a single flow table and \
+          print the rendered rules (the format committed as goldens)")
+    Term.(const run_policy_compile $ policy_spec_pos_arg)
+
+let policy_check_cases_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "cases" ] ~docv:"N" ~doc:"Fuzzed packet sequences per spec.")
+
+let policy_check_dir_arg =
+  Arg.(
+    value & opt string "policy-repros"
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Where to write shrunk divergence repros.")
+
+let policy_check_replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay a pinned repro file instead of fuzzing; exits nonzero if \
+           it still diverges.")
+
+let policy_check_spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spec" ] ~docv:"SPEC" ~doc:"Check only this spec (default: all).")
+
+let policy_check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "replay fuzzed packets through the policy interpreter, the \
+          compiled table on every backend, and the hand-written rules; \
+          exits nonzero on any divergence")
+    Term.(
+      const run_policy_check $ policy_check_cases_arg $ fuzz_seed_arg
+      $ policy_check_dir_arg $ policy_check_replay_arg
+      $ policy_check_spec_arg)
+
+let policy_cmd =
+  Cmd.group
+    (Cmd.info "policy"
+       ~doc:
+         "compile NetKAT-lite policies to flow tables and prove them \
+          equivalent to the hand-written SS_2 apps")
+    [ policy_compile_cmd; policy_check_cmd ]
+
 (* ---- gc: memory telemetry over the quickstart scenario ---- *)
 
 let run_gc duration_ms =
@@ -1084,7 +1215,7 @@ let main =
     [
       cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
       trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd; fuzz_cmd;
-      gc_cmd; perf_cmd; migrate_cmd; postmortem_cmd;
+      policy_cmd; gc_cmd; perf_cmd; migrate_cmd; postmortem_cmd;
     ]
 
 let () = exit (Cmd.eval main)

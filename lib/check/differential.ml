@@ -103,6 +103,8 @@ let apply_msg pipeline ~now_ns (msg : Msg_.t) =
       | Msg_.Delete_meter { id } -> Openflow.Meter_table.remove meters ~id)
   | _ -> ()
 
+let apply_message = apply_msg
+
 let expire_all pipeline ~now_ns =
   for i = 0 to P.num_tables pipeline - 1 do
     ignore (FT.expire (P.table pipeline i) ~now_ns)

@@ -37,6 +37,14 @@ type divergence = {
   scenario : scenario;  (** shrunk by the time it is reported *)
 }
 
+val apply_message :
+  Openflow.Pipeline.t -> now_ns:int -> Openflow.Of_message.t -> unit
+(** Apply one control-plane message to a pipeline with soft-switch
+    semantics (exactly as a [Msg] step does): bad table ids, table-full
+    and unknown/duplicate group or meter ids are silently ignored;
+    non-mod messages are no-ops.  Shared with {!Policy_equiv}, which
+    installs compiled and hand-written rule sets through it. *)
+
 val render_result : Openflow.Pipeline.result -> string
 (** The normalized form results are compared under: outputs with packet
     bytes, table-miss flag, and matched entries as

@@ -101,6 +101,13 @@ let install t dpid fm =
   t.flow_mods_sent <- t.flow_mods_sent + 1;
   send t dpid (Of_message.Flow_mod fm)
 
+let send_all t dpid msgs =
+  List.iter
+    (function
+      | Of_message.Flow_mod fm -> install t dpid fm
+      | msg -> send t dpid msg)
+    msgs
+
 let packet_out t dpid ?in_port ~actions packet =
   t.packet_outs <- t.packet_outs + 1;
   if Telemetry.Trace.enabled () then

@@ -50,6 +50,12 @@ val send : t -> int64 -> Openflow.Of_message.t -> unit
 (** @raise Not_found for an unknown datapath. *)
 
 val install : t -> int64 -> Openflow.Of_message.flow_mod -> unit
+(** Count and send one flow-mod. *)
+
+val send_all : t -> int64 -> Openflow.Of_message.t list -> unit
+(** Send a message sequence in order, counting flow-mods as {!install}
+    does — the push path apps use to install a precomputed rule set. *)
+
 val packet_out :
   t -> int64 -> ?in_port:int -> actions:Openflow.Of_action.t list ->
   Netpkt.Packet.t -> unit

@@ -25,6 +25,22 @@ val create : policy -> ?priority:int -> unit -> Controller.app
     the IP drop fence at [priority - 400].
     @raise Invalid_argument if an allowed pair names an unknown VM. *)
 
+val messages :
+  policy -> ?table_id:int -> ?in_ports:int list -> ?priority:int -> unit ->
+  Openflow.Of_message.t list
+(** The exact message sequence {!create} pushes on switch-up, as a pure
+    value (default table 0, unscoped, priority 2000).  [in_ports] scopes
+    every rule to those ingress ports (one copy per port) so the app can
+    be composed with others on a shared switch.
+    @raise Invalid_argument as {!create} does. *)
+
+val fragment :
+  policy -> ?in_ports:int list -> unit -> Policy.Syntax.t
+(** The same behaviour as a policy-algebra fragment: a union of pair
+    forwards plus the ARP flood.  The default-deny fence is implicit —
+    unmatched packets already produce the empty set.
+    @raise Invalid_argument as {!create} does. *)
+
 val allows : policy -> Netpkt.Ipv4_addr.t -> Netpkt.Ipv4_addr.t -> bool
 (** Whether the policy permits traffic between two addresses (symmetric;
     used by tests as the ground truth). *)

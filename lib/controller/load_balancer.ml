@@ -7,41 +7,55 @@ type backend = {
   backend_port : int;
 }
 
-let create ~vip_ip ~vip_mac ~ingress_port ~backends ?(group_id = 1)
-    ?(priority = 2000) () =
-  if backends = [] then invalid_arg "Load_balancer.create: no backends";
-  let switch_up ctrl dpid =
-    let buckets =
-      List.map
-        (fun b ->
-          {
-            Group_table.weight = 1;
-            actions =
-              [
-                Of_action.Set_eth_dst b.backend_mac;
-                Of_action.Set_ip_dst b.backend_ip;
-                Of_action.output b.backend_port;
-              ];
-          })
-        backends
-    in
-    Controller.send ctrl dpid
-      (Of_message.Group_mod
-         (Of_message.Add_group { id = group_id; gtype = Group_table.Select; buckets }));
-    (* VIP-bound traffic -> the select group. *)
-    Controller.install ctrl dpid
-      (Of_message.add_flow ~priority
-         ~match_:
-           Of_match.(
-             any
-             |> eth_type 0x0800
-             |> ip_dst (Ipv4_addr.Prefix.make vip_ip 32))
-         [ Flow_entry.Apply_actions [ Of_action.Group group_id ] ]);
-    (* Return traffic: un-rewrite and send to the ingress side. *)
-    List.iter
+(* Every port the app owns: where VIP traffic enters plus the backends. *)
+let lb_ports ~ingress_port ~backends ?vip_in_ports () =
+  let ingress =
+    match vip_in_ports with None -> [ ingress_port ] | Some ps -> ps
+  in
+  let backend_ports = List.map (fun b -> b.backend_port) backends in
+  ingress @ List.filter (fun p -> not (List.mem p ingress)) backend_ports
+
+let messages ~vip_ip ~vip_mac ~ingress_port ~backends ?(group_id = 1)
+    ?(priority = 2000) ?(table_id = 0) ?vip_in_ports () =
+  if backends = [] then invalid_arg "Load_balancer: no backends";
+  let buckets =
+    List.map
       (fun b ->
-        Controller.install ctrl dpid
-          (Of_message.add_flow ~priority
+        {
+          Group_table.weight = 1;
+          actions =
+            [
+              Of_action.Set_eth_dst b.backend_mac;
+              Of_action.Set_ip_dst b.backend_ip;
+              Of_action.output b.backend_port;
+            ];
+        })
+      backends
+  in
+  let vip_match =
+    Of_match.(
+      any |> eth_type 0x0800 |> ip_dst (Ipv4_addr.Prefix.make vip_ip 32))
+  in
+  let vip_matches =
+    match vip_in_ports with
+    | None -> [ vip_match ]
+    | Some ports -> List.map (fun p -> Of_match.in_port p vip_match) ports
+  in
+  Of_message.Group_mod
+    (Of_message.Add_group
+       { id = group_id; gtype = Group_table.Select; buckets })
+  (* VIP-bound traffic -> the select group. *)
+  :: List.map
+       (fun m ->
+         Of_message.Flow_mod
+           (Of_message.add_flow ~table_id ~priority ~match_:m
+              [ Flow_entry.Apply_actions [ Of_action.Group group_id ] ]))
+       vip_matches
+  (* Return traffic: un-rewrite and send to the ingress side. *)
+  @ List.map
+      (fun b ->
+        Of_message.Flow_mod
+          (Of_message.add_flow ~table_id ~priority
              ~match_:
                Of_match.(
                  any
@@ -57,5 +71,77 @@ let create ~vip_ip ~vip_mac ~ingress_port ~backends ?(group_id = 1)
                  ];
              ]))
       backends
+  (* ARP must flow on the app's own ports for VIP and backend
+     resolution. *)
+  @ List.map
+      (fun p ->
+        Of_message.Flow_mod
+          (Of_message.add_flow ~table_id ~priority:(priority - 200)
+             ~match_:Of_match.(any |> eth_type 0x0806 |> in_port p)
+             [ Flow_entry.Apply_actions [ Of_action.Output Of_action.Flood ] ]))
+      (lb_ports ~ingress_port ~backends ?vip_in_ports ())
+
+let fragment ~vip_ip ~vip_mac ~ingress_port ~backends ?vip_in_ports () =
+  if backends = [] then invalid_arg "Load_balancer: no backends";
+  let open Policy.Syntax in
+  let scope =
+    match vip_in_ports with
+    | None -> True
+    | Some ports -> disj (List.map in_port ports)
+  in
+  let vip_branch =
+    seq
+      (filter (conj [ scope; eth_type_is 0x0800; ip_dst_is vip_ip ]))
+      (balance
+         (List.map
+            (fun b ->
+              [
+                (Eth_dst, Mac b.backend_mac);
+                (Ip_dst, Ip b.backend_ip);
+                (Loc, At (Phys b.backend_port));
+              ])
+            backends))
+  in
+  let return_branch =
+    unions
+      (List.map
+         (fun b ->
+           seq
+             (filter
+                (conj
+                   [
+                     in_port b.backend_port;
+                     eth_type_is 0x0800;
+                     ip_src_is b.backend_ip;
+                   ]))
+             (seqs
+                [ set_eth_src vip_mac; set_ip_src vip_ip; fwd ingress_port ]))
+         backends)
+  in
+  let arp_branch =
+    seq
+      (filter
+         (conj
+            [
+              disj
+                (List.map in_port
+                   (lb_ports ~ingress_port ~backends ?vip_in_ports ()));
+              eth_type_is 0x0806;
+            ]))
+      flood
+  in
+  (* The hand-written app installs the VIP rule before the return rules at
+     equal priority, so on their (spoofed-source) overlap the VIP rule
+     wins the first-installed tie-break — [orelse] mirrors that.  ARP is
+     disjoint by ethertype, so it joins by union. *)
+  union (orelse vip_branch return_branch) arp_branch
+
+let create ~vip_ip ~vip_mac ~ingress_port ~backends ?(group_id = 1)
+    ?(priority = 2000) () =
+  if backends = [] then invalid_arg "Load_balancer.create: no backends";
+  let switch_up ctrl dpid =
+    Controller.send_all ctrl dpid
+      (messages ~vip_ip ~vip_mac ~ingress_port ~backends ~group_id ~priority
+         ())
   in
   { (Controller.no_op_app "load-balancer") with Controller.switch_up }

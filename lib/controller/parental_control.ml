@@ -49,27 +49,90 @@ let needs_sniffing t user =
     (fun (u, h) -> Ipv4_addr.equal u user && Option.is_none (site_ip t h))
     t.blocked
 
-let install_for_user t ctrl dpid user =
-  List.iter
+let messages_for_user t ?(table_id = 0) user =
+  List.filter_map
     (fun (u, host) ->
       if Ipv4_addr.equal u user then
         match site_ip t host with
         | Some site ->
-            Controller.install ctrl dpid
-              (Of_message.add_flow ~priority:t.priority
-                 ~match_:(drop_match ~user ~site)
-                 [ Flow_entry.Apply_actions [ Of_action.Drop ] ])
-        | None -> ())
-    t.blocked;
+            Some
+              (Of_message.Flow_mod
+                 (Of_message.add_flow ~table_id ~priority:t.priority
+                    ~match_:(drop_match ~user ~site)
+                    [ Flow_entry.Apply_actions [ Of_action.Drop ] ]))
+        | None -> None
+      else None)
+    t.blocked
+  @
   if needs_sniffing t user then
-    Controller.install ctrl dpid
-      (Of_message.add_flow ~priority:(t.priority - 100)
-         ~match_:(sniff_match ~user)
-         [ Flow_entry.Apply_actions [ Of_action.Output (Of_action.Controller 0) ] ])
+    [
+      Of_message.Flow_mod
+        (Of_message.add_flow ~table_id ~priority:(t.priority - 100)
+           ~match_:(sniff_match ~user)
+           [
+             Flow_entry.Apply_actions
+               [ Of_action.Output (Of_action.Controller 0) ];
+           ]);
+    ]
+  else []
 
 let users t = List.sort_uniq Ipv4_addr.compare (List.map fst t.blocked)
 
+let messages t ?table_id () =
+  List.concat_map (messages_for_user t ?table_id) (users t)
+
+let install_for_user t ctrl dpid user =
+  Controller.send_all ctrl dpid (messages_for_user t user)
+
 let install_all t ctrl dpid = List.iter (install_for_user t ctrl dpid) (users t)
+
+let blocked_pred t =
+  let open Policy.Syntax in
+  disj
+    (List.concat_map
+       (fun user ->
+         List.filter_map
+           (fun (u, host) ->
+             if Ipv4_addr.equal u user then
+               Option.map
+                 (fun site ->
+                   conj
+                     [
+                       eth_type_is 0x0800;
+                       ip_proto_is 6;
+                       ip_src_is user;
+                       ip_dst_is site;
+                       l4_dst_is 80;
+                     ])
+                 (site_ip t host)
+             else None)
+           t.blocked)
+       (users t))
+
+let sniff_pred t =
+  let open Policy.Syntax in
+  disj
+    (List.filter_map
+       (fun user ->
+         if needs_sniffing t user then
+           Some
+             (conj
+                [
+                  eth_type_is 0x0800;
+                  ip_proto_is 6;
+                  ip_src_is user;
+                  l4_dst_is 80;
+                ])
+         else None)
+       (users t))
+
+let fragment t =
+  let open Policy.Syntax in
+  (* Proactive drops are absence; only the sniff path emits — guarded by
+     the drops, which outrank it in the hand-written table. *)
+  seq
+    (filter (And (Not (blocked_pred t), sniff_pred t)))
+    (to_controller ())
 
 let app t =
   let switch_up ctrl dpid =

@@ -27,6 +27,23 @@ val create :
 
 val app : t -> Controller.app
 
+val messages : t -> ?table_id:int -> unit -> Openflow.Of_message.t list
+(** The proactive rule set {!app} installs on switch-up (per user in
+    address order: resolvable drops in [blocked] order, then the sniff
+    rule if any host is unresolvable), as a pure value.  Default table 0. *)
+
+val blocked_pred : t -> Policy.Syntax.pred
+(** Matches exactly the traffic the proactive drop rules kill. *)
+
+val sniff_pred : t -> Policy.Syntax.pred
+(** Matches the HTTP traffic of users needing controller sniffing. *)
+
+val fragment : t -> Policy.Syntax.t
+(** Dataplane behaviour as a policy fragment:
+    [filter (not blocked && sniff); to_controller].  Proactive drops are
+    absence in the algebra; the reactive packet-in logic stays in {!app}
+    and is shared by both implementations. *)
+
 val block : t -> Controller.t -> user:Netpkt.Ipv4_addr.t -> host:string -> unit
 (** Add a deny entry and install it on every connected switch. *)
 

@@ -1,0 +1,8 @@
+let create ?(name = "policy") compiled =
+  let switch_up ctrl dpid =
+    Controller.send_all ctrl dpid (Policy.Compile.messages compiled)
+  in
+  { (Controller.no_op_app name) with Controller.switch_up }
+
+let install_direct ctrl dpid compiled =
+  Controller.send_all ctrl dpid (Policy.Compile.messages compiled)

@@ -1,0 +1,10 @@
+(** The compiled-policy push path: one controller app that installs a
+    {!Policy.Compile.t}'s meters, groups and flow rules (in dependency
+    order) on switch-up — the policy-layer replacement for registering
+    each hand-written app separately. *)
+
+val create : ?name:string -> Policy.Compile.t -> Controller.app
+
+val install_direct : Controller.t -> int64 -> Policy.Compile.t -> unit
+(** Push the compiled table to a connected datapath right now (live
+    policy updates outside the switch-up path). *)

@@ -19,7 +19,30 @@ val create : limits:limit list -> ?priority:int -> unit -> Controller.app
     Meter ids are assigned [1, 2, ...] in list order.  Default priority
     2000. *)
 
+val messages :
+  limits:limit list -> ?priority:int -> ?table_id:int -> ?goto_table:int ->
+  unit -> Openflow.Of_message.t list
+(** The exact message sequence {!create} pushes on switch-up (meter and
+    flow per limit interleaved, then the unmetered default), as a pure
+    value.  Defaults: table 0, continue at table 1, priority 2000. *)
+
+val fragment : limits:limit list -> unit -> Policy.Syntax.t
+(** The metering stage as a pass-through policy fragment: each subject's
+    IP traffic goes through [Police] with meter id [index + 1] (the ids
+    {!messages} assigns); everything else passes unmetered.  Sequence it
+    before a forwarding fragment.  Subjects must be distinct — duplicate
+    subjects would meter a packet twice where the hand-written table's
+    first-match takes one rule. *)
+
 val table1_l2 : num_hosts:int -> Controller.app
 (** A proactive destination-MAC forwarding app for {e table 1}, matching
     the {!Harmless.Deployment} host conventions — the forwarding layer
     under the policer. *)
+
+val table1_messages :
+  num_hosts:int -> ?table_id:int -> unit -> Openflow.Of_message.t list
+(** {!table1_l2}'s rule set as a pure value (default table 1). *)
+
+val table1_fragment : num_hosts:int -> unit -> Policy.Syntax.t
+(** {!table1_l2}'s behaviour as a fragment: MAC forwards with an ARP-flood
+    fallback. *)
