@@ -356,6 +356,59 @@ let trace_tests =
                Telemetry.Trace.Collector.clear collector));
     ]
 
+(* ---- flows/* : the sampled traffic observability plane ----
+
+   "observe-skip" is the per-packet tax every switch pays when the
+   packet is NOT sampled — the line the zero-overhead guard watches
+   (words/run must stay 0; the HLL register max is the only work).
+   "observe-sample" pays the full sampled path at rate 1: flow key,
+   count-min and top-k updates, ring write.  "flow-hash" prices the
+   5-tuple hash on its own, and "merge-fabric" is one collector tick
+   folding four pre-fed switches into the fabric view. *)
+
+let flows_tests =
+  let flow_pkt i =
+    Netpkt.Packet.udp ~dst:(mac 0x202) ~src:(mac 0x201)
+      ~ip_src:(ip "10.2.0.1") ~ip_dst:(ip "10.2.0.2")
+      ~src_port:(1000 + (i land 0xff)) ~dst_port:80 "bench"
+  in
+  let skip =
+    Softswitch.Flowrec.create
+      ~config:{ Softswitch.Flowrec.default_config with rate = max_int }
+      ()
+  in
+  let sample =
+    Softswitch.Flowrec.create
+      ~config:{ Softswitch.Flowrec.default_config with rate = 1 }
+      ()
+  in
+  let p0 = flow_pkt 0 in
+  let fc = Sdnctl.Flow_collector.create (Simnet.Engine.create ()) in
+  let () =
+    for s = 1 to 4 do
+      let r =
+        Softswitch.Flowrec.create ~config:(Sdnctl.Flow_collector.config fc) ()
+      in
+      Sdnctl.Flow_collector.attach fc ~name:(Printf.sprintf "sw%d" s) r;
+      for i = 1 to 1024 do
+        Softswitch.Flowrec.observe r ~now_ns:i ~in_port:1 (flow_pkt (i * s))
+      done
+    done
+  in
+  Test.make_grouped ~name:"flows"
+    [
+      Test.make ~name:"observe-skip"
+        (Staged.stage (fun () ->
+             Softswitch.Flowrec.observe skip ~now_ns:0 ~in_port:1 p0));
+      Test.make ~name:"observe-sample"
+        (Staged.stage (fun () ->
+             Softswitch.Flowrec.observe sample ~now_ns:0 ~in_port:1 p0));
+      Test.make ~name:"flow-hash"
+        (Staged.stage (fun () -> ignore (Netpkt.Packet.flow_hash p0)));
+      Test.make ~name:"merge-fabric"
+        (Staged.stage (fun () -> Sdnctl.Flow_collector.merge_now fc));
+    ]
+
 (* ---- harness ---- *)
 
 (* ---- fuzz/* : conformance-checking throughput ----
@@ -445,6 +498,7 @@ let all_tests =
     meter_tests;
     ablation_tests;
     trace_tests;
+    flows_tests;
     fuzz_tests;
     policy_tests;
   ]

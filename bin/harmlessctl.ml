@@ -536,6 +536,108 @@ let alerts_cmd =
        ~doc:"evaluate the demo SLO rules and print states and transitions")
     Term.(const run_alerts $ alerts_eval_once_arg $ top_duration_arg)
 
+(* ---- flows ---- *)
+
+let run_flows report seed hosts top_n duration_ms format =
+  if report then begin
+    let config = { Harmless.Flow_rig.default_config with seed; hosts } in
+    let r = Harmless.Flow_rig.run ~config () in
+    (match format with
+    | "json" ->
+        let open Telemetry.Json in
+        print_endline
+          (to_string
+             (Obj
+                [
+                  ("seed", Int r.Harmless.Flow_rig.rp_seed);
+                  ("flows", Int r.Harmless.Flow_rig.rp_flows);
+                  ("packets", Int r.Harmless.Flow_rig.rp_packets);
+                  ("sampled", Int r.Harmless.Flow_rig.rp_sampled);
+                  ("hh_expected", Int r.Harmless.Flow_rig.rp_hh_expected);
+                  ("hh_reported", Int r.Harmless.Flow_rig.rp_hh_reported);
+                  ("hh_recall", Float r.Harmless.Flow_rig.rp_hh_recall);
+                  ( "cm_overestimate_ok",
+                    Bool r.Harmless.Flow_rig.rp_cm_overestimate_ok );
+                  ("cm_max_err", Int r.Harmless.Flow_rig.rp_cm_max_err);
+                  ("cm_bound", Int r.Harmless.Flow_rig.rp_cm_bound);
+                  ( "cm_within_frac",
+                    Float r.Harmless.Flow_rig.rp_cm_within_frac );
+                  ("est_hosts", Float r.Harmless.Flow_rig.rp_est_hosts);
+                  ("hll_rel_err", Float r.Harmless.Flow_rig.rp_hll_rel_err);
+                  ("ok", Bool r.Harmless.Flow_rig.rp_ok);
+                ]))
+    | _ -> print_string (Harmless.Flow_rig.render r));
+    if not r.Harmless.Flow_rig.rp_ok then exit 4
+  end
+  else
+    let dash = build_dashboard duration_ms in
+    match format with
+    | "json" ->
+        print_endline
+          (Telemetry.Json.to_string
+             (Sdnctl.Flow_collector.to_json ~k:top_n
+                (Harmless.Dashboard.flow_collector dash)))
+    | _ -> print_string (Harmless.Dashboard.render_flows ~top_n dash)
+
+let flows_report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "Run the sketch accuracy rig (seeded Zipf elephant/mice workload \
+           through a sampled fabric) and print estimated-vs-exact error \
+           against the analytical bounds.  Exit status 4 if any bound is \
+           violated.")
+
+let flows_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N" ~doc:"Workload seed for $(b,--report).")
+
+let flows_hosts_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "hosts" ] ~docv:"N"
+        ~doc:"Distinct source hosts in the $(b,--report) workload.")
+
+let flows_top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K" ~doc:"Heavy hitters to show.")
+
+let flows_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", "text"); ("json", "json") ]) "text"
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format (text or json).")
+
+let flows_cmd =
+  Cmd.v
+    (Cmd.info "flows"
+       ~doc:"sampled flow telemetry: heavy hitters, cardinality, accuracy rig"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Without flags: build the quickstart deployment with a sampled \
+              flow recorder on the OpenFlow switch, drive probe traffic, \
+              and print the merged heavy-hitters panel — estimated bytes \
+              per flow from a count-min/top-k sketch plane whose memory is \
+              fixed regardless of flow count, plus the HyperLogLog estimate \
+              of distinct source hosts.";
+           `P
+             "With $(b,--report): replay a seeded heavy-tailed workload \
+              (Zipf sources, elephants and mice, a census segment pinning \
+              true cardinality) through a 4-switch fabric and check the \
+              sketch estimates against exact references: heavy-hitter \
+              recall must be total, count-min queries overestimate-only \
+              and within the epsilon bound, HLL within 5%.  Deterministic \
+              per seed: the same invocation prints byte-identical output.";
+         ])
+    Term.(
+      const run_flows $ flows_report_arg $ flows_seed_arg $ flows_hosts_arg
+      $ flows_top_arg $ top_duration_arg $ flows_format_arg)
+
 (* ---- fuzz ---- *)
 
 let run_fuzz cases seed repro_dir replay =
@@ -1214,7 +1316,8 @@ let main =
        ~doc:"operate the HARMLESS hybrid-SDN reproduction")
     [
       cost_cmd; provision_cmd; config_cmd; walkthrough_cmd; pcap_cmd;
-      trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd; fuzz_cmd;
+      trace_cmd; metrics_cmd; chaos_cmd; top_cmd; alerts_cmd; flows_cmd;
+      fuzz_cmd;
       policy_cmd; gc_cmd; perf_cmd; migrate_cmd; postmortem_cmd;
     ]
 

@@ -14,7 +14,10 @@ let samples t = t.total
 
 let ranking t =
   Hashtbl.fold (fun ip n acc -> (ip, n) :: acc) t.counts []
-  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  |> List.sort (fun (ia, a) (ib, b) ->
+         (* Total order — count desc, then address asc — so ranks never
+            depend on hash-table iteration order. *)
+         match Int.compare b a with 0 -> Ipv4_addr.compare ia ib | c -> c)
 
 let estimated_share t ip =
   if t.total = 0 then 0.0

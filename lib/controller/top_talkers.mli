@@ -12,7 +12,9 @@ val samples : t -> int
 (** Total sampled packets absorbed. *)
 
 val ranking : t -> (Netpkt.Ipv4_addr.t * int) list
-(** Source addresses by sample count, descending. *)
+(** Source addresses by sample count, descending; ties break on
+    address order, so the ranking is a total order (and agrees with
+    {!byte_ranking} and the sketch plane's top-k on exact workloads). *)
 
 val estimated_share : t -> Netpkt.Ipv4_addr.t -> float
 (** Fraction of sampled traffic attributed to one source, in [0, 1]. *)

@@ -8,6 +8,7 @@ type t = {
   poller : Sdnctl.Stats_poller.t;
   alerts : Telemetry.Alert.t;
   gcstats : Telemetry.Gcstats.t;
+  collector : Sdnctl.Flow_collector.t;
   view : Trace_view.t;
   profile : Telemetry.Profile.t;
   mutable pings : int;
@@ -17,6 +18,7 @@ let engine t = t.engine
 let poller t = t.poller
 let alerts t = t.alerts
 let gcstats t = t.gcstats
+let flow_collector t = t.collector
 let now_ns t = Sim_time.to_ns (Engine.now t.engine)
 
 let aggregate_rx_rate poller now_ns ~window =
@@ -71,6 +73,20 @@ let demo ?(num_hosts = 4) ?(poll_period = Sim_time.ms 10) () =
      to fire — keeping every golden frame deterministic. *)
   Telemetry.Gcstats.add_alloc_rate_rule gcstats alerts
     ~words_per_second:1e12 ~window:(Sim_time.ms 30) ();
+  (* Sampled flow telemetry on the OpenFlow switch: a low rate so the
+     probe pings actually get sampled, and — like the GC rule —
+     unreachable alert thresholds, present for the roster, never
+     firing. *)
+  let collector =
+    Sdnctl.Flow_collector.create
+      ~config:{ Softswitch.Flowrec.default_config with rate = 8; topk = 8 }
+      engine
+  in
+  Sdnctl.Flow_collector.add_switch collector
+    (Deployment.controller_switch deployment);
+  Sdnctl.Flow_collector.start collector ~every:poll_period;
+  Sdnctl.Flow_collector.add_alert_rules ~elephant_bytes:1e12 ~max_hosts:1e12
+    collector alerts;
   Ok
     {
       engine;
@@ -80,6 +96,7 @@ let demo ?(num_hosts = 4) ?(poll_period = Sim_time.ms 10) () =
       poller;
       alerts;
       gcstats;
+      collector;
       view = Trace_view.of_deployment deployment;
       profile = Telemetry.Profile.create ();
       pings = 0;
@@ -229,6 +246,11 @@ let render_stages t =
     add "no traced traffic yet — advance the dashboard first\n"
   else add "%s" (Telemetry.Profile.attribution_table t.profile);
   Buffer.contents buf
+
+let render_flows ?(top_n = 10) t =
+  Printf.sprintf "harmless flows — t=%s\n%s"
+    (Format.asprintf "%a" Sim_time.pp (Engine.now t.engine))
+    (Sdnctl.Flow_collector.render ~k:top_n t.collector)
 
 let render_alerts t =
   let buf = Buffer.create 1024 in

@@ -23,9 +23,13 @@ val demo :
     above 1 B/s — firing means traffic is flowing) and
     ["gc-alloc-rate"] (allocation-rate watch with a deliberately
     unreachable demo threshold, so the frame goldens stay
-    deterministic).  The engine's queue-depth/scheduling-lag telemetry
-    is on (every 16th event).  The control-plane handshake has already
-    settled; no traffic has been sent yet. *)
+    deterministic).  A {!Sdnctl.Flow_collector} samples the OpenFlow
+    switch 1-in-8 and merges on the poll period, contributing the
+    ["elephant-flow"] and ["host-cardinality"] rules (also with
+    unreachable demo thresholds).  The engine's
+    queue-depth/scheduling-lag telemetry is on (every 16th event).
+    The control-plane handshake has already settled; no traffic has
+    been sent yet. *)
 
 val advance : t -> Simnet.Sim_time.span -> unit
 (** Run the deployment for a span of sim time: probe pings cycle
@@ -51,6 +55,15 @@ val render_top : ?top_n:int -> ?window:Simnet.Sim_time.span -> t -> string
     runtime numbers — the one nondeterministic line in the frame), an
     engine line (events executed, sampled queue depth and scheduling
     lag), and the alert summary. *)
+
+val flow_collector : t -> Sdnctl.Flow_collector.t
+(** The demo's sampled-flow roll-up (fed by the probe pings). *)
+
+val render_flows : ?top_n:int -> t -> string
+(** The heavy-hitters panel: switch/sample/merge counts, the merged
+    top-[top_n] (default 10) flows by estimated bytes with per-entry
+    error bounds, and the estimated source-host cardinality.
+    [harmlessctl flows] prints exactly this frame. *)
 
 val render_alerts : t -> string
 (** The alert engine in full: every rule with its state, then the

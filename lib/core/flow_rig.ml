@@ -1,0 +1,241 @@
+open Simnet
+open Softswitch
+
+type config = {
+  seed : int;
+  hosts : int;
+  mice : int;
+  elephants : int;
+  switches : int;
+  rate : int;
+  cm_epsilon : float;
+  cm_delta : float;
+  hll_p : int;
+  topk : int;
+  hh_frac : float;
+  merge_every_ms : int;
+  duration_ns : int;
+}
+
+let default_config =
+  {
+    seed = 42;
+    hosts = 100_000;
+    mice = 400;
+    elephants = 8;
+    switches = 4;
+    rate = 4;
+    cm_epsilon = 0.005;
+    cm_delta = 0.01;
+    hll_p = 14;
+    topk = 32;
+    hh_frac = 0.02;
+    merge_every_ms = 10;
+    duration_ns = 1_000_000_000;
+  }
+
+type report = {
+  rp_seed : int;
+  rp_flows : int;
+  rp_packets : int;
+  rp_seen : int;
+  rp_sampled : int;
+  rp_merges : int;
+  rp_total_bytes : int;
+  rp_hh_threshold : int;
+  rp_hh_expected : int;
+  rp_hh_reported : int;
+  rp_hh_recall : float;
+  rp_cm_keys : int;
+  rp_cm_overestimate_ok : bool;
+  rp_cm_max_err : int;
+  rp_cm_bound : int;
+  rp_cm_within_frac : float;
+  rp_cm_hh_ok : bool;
+  rp_true_hosts : int;
+  rp_est_hosts : float;
+  rp_hll_rel_err : float;
+  rp_ok : bool;
+  rp_text : string;
+}
+
+let render r = r.rp_text
+
+let run ?(config = default_config) () =
+  let engine = Engine.create () in
+  let frcfg =
+    {
+      Flowrec.rate = config.rate;
+      cm_epsilon = config.cm_epsilon;
+      cm_delta = config.cm_delta;
+      hll_p = config.hll_p;
+      topk = config.topk;
+      ring = 0;
+      seed = config.seed;
+    }
+  in
+  let collector = Sdnctl.Flow_collector.create ~config:frcfg engine in
+  let switches =
+    Array.init config.switches (fun i ->
+        Soft_switch.create engine
+          ~name:(Printf.sprintf "sw%d" i)
+          ~ports:2 ~miss:Soft_switch.Drop_on_miss ())
+  in
+  Array.iter (Sdnctl.Flow_collector.add_switch collector) switches;
+  (* Exact references: true bytes per flow over the whole stream, and
+     the scaled bytes of exactly the packets the recorders sampled (the
+     stream the count-min bound formally applies to). *)
+  let true_bytes : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let sampled_exact : (string, int * int) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun (_, fr) ->
+      Flowrec.set_on_sample fr (fun (r : Flowrec.record) ->
+          let key = Netpkt.Packet.Flow_key.to_string r.Flowrec.rc_key in
+          let _, prev =
+            Option.value
+              (Hashtbl.find_opt sampled_exact key)
+              ~default:(r.Flowrec.rc_hash, 0)
+          in
+          Hashtbl.replace sampled_exact key
+            (r.Flowrec.rc_hash, prev + r.Flowrec.rc_bytes)))
+    (Sdnctl.Flow_collector.recorders collector);
+  Sdnctl.Flow_collector.start collector
+    ~every:(Sim_time.ms config.merge_every_ms);
+  let plan =
+    Workload.plan ~seed:config.seed ~hosts:config.hosts ~mice:config.mice
+      ~elephants:config.elephants ~duration_ns:config.duration_ns ()
+  in
+  Array.iteri
+    (fun i fl ->
+      let pkt = Workload.packet fl in
+      let key = Netpkt.Packet.Flow_key.to_string (Netpkt.Packet.flow_key pkt) in
+      let bytes = Netpkt.Packet.size pkt * fl.Workload.fl_packets in
+      Hashtbl.replace true_bytes key
+        (bytes + Option.value (Hashtbl.find_opt true_bytes key) ~default:0);
+      let sw = switches.(i mod config.switches) in
+      Engine.schedule_at engine
+        (Sim_time.of_ns fl.Workload.fl_start_ns)
+        (fun () ->
+          for seq = 0 to fl.Workload.fl_packets - 1 do
+            let now_ns =
+              fl.Workload.fl_start_ns + (seq * fl.Workload.fl_gap_ns)
+            in
+            ignore (Soft_switch.process_direct sw ~now_ns ~in_port:0 pkt)
+          done))
+    plan.Workload.flows;
+  Engine.run
+    ~until:(Sim_time.of_ns (config.duration_ns + 200_000_000))
+    engine;
+  Sdnctl.Flow_collector.merge_now collector;
+  (* Heavy-hitter recall against ground truth. *)
+  let total_bytes = Hashtbl.fold (fun _ b acc -> acc + b) true_bytes 0 in
+  let threshold =
+    max 1 (int_of_float (config.hh_frac *. float_of_int total_bytes))
+  in
+  let expected_hh =
+    Hashtbl.fold
+      (fun key b acc -> if b >= threshold then key :: acc else acc)
+      true_bytes []
+    |> List.sort String.compare
+  in
+  let top_keys =
+    List.map (fun (k, _, _) -> k) (Sdnctl.Flow_collector.top collector)
+  in
+  let reported_hh =
+    List.filter (fun k -> List.mem k top_keys) expected_hh
+  in
+  let hh_recall =
+    if expected_hh = [] then 1.0
+    else
+      float_of_int (List.length reported_hh)
+      /. float_of_int (List.length expected_hh)
+  in
+  (* Count-min point-query accuracy over the sampled-scaled stream. *)
+  let cm = Sdnctl.Flow_collector.merged_cm collector in
+  let cm_bound =
+    int_of_float
+      (Float.ceil (config.cm_epsilon *. float_of_int (Telemetry.Sketch.Cm.total cm)))
+  in
+  let cm_keys = ref 0
+  and cm_under = ref 0
+  and cm_max_err = ref 0
+  and cm_within = ref 0 in
+  let cm_hh_ok = ref true in
+  Hashtbl.iter
+    (fun key (hash, exact) ->
+      incr cm_keys;
+      let est = Telemetry.Sketch.Cm.query cm ~key:hash in
+      if est < exact then incr cm_under;
+      let err = est - exact in
+      if err > !cm_max_err then cm_max_err := err;
+      if err <= cm_bound then incr cm_within
+      else if List.mem key expected_hh then cm_hh_ok := false)
+    sampled_exact;
+  let cm_within_frac =
+    if !cm_keys = 0 then 1.0
+    else float_of_int !cm_within /. float_of_int !cm_keys
+  in
+  (* Cardinality: the census segment makes the true value exactly
+     [hosts]. *)
+  let est_hosts = Sdnctl.Flow_collector.hosts collector in
+  let hll_rel_err =
+    Float.abs (est_hosts -. float_of_int config.hosts)
+    /. float_of_int config.hosts
+  in
+  let cm_overestimate_ok = !cm_under = 0 in
+  let ok =
+    hh_recall = 1.0 && cm_overestimate_ok
+    && cm_within_frac >= 1.0 -. (2.0 *. config.cm_delta)
+    && !cm_hh_ok && hll_rel_err <= 0.05
+  in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "flow accuracy rig — seed %d" config.seed;
+  line "workload: %d hosts, %d mice + %d elephants + census — %d flows, %d packets"
+    config.hosts config.mice config.elephants
+    (Array.length plan.Workload.flows)
+    plan.Workload.total_packets;
+  line "fabric:   %d switches, 1-in-%d sampling, eps=%.4f delta=%.4f hll_p=%d k=%d"
+    config.switches config.rate config.cm_epsilon config.cm_delta config.hll_p
+    config.topk;
+  line "observed: %d seen, %d sampled, %d merges"
+    (Sdnctl.Flow_collector.seen collector)
+    (Sdnctl.Flow_collector.sampled collector)
+    (Sdnctl.Flow_collector.merges collector);
+  line
+    "heavy hitters: threshold %d B (%.1f%% of %d B) — expected %d, reported %d, recall %.2f"
+    threshold (100.0 *. config.hh_frac) total_bytes
+    (List.length expected_hh) (List.length reported_hh) hh_recall;
+  line
+    "count-min: %d sampled flows checked, overestimate-only %s, max err %d B (bound %d B), within-bound %.2f%%"
+    !cm_keys
+    (if cm_overestimate_ok then "ok" else "VIOLATED")
+    !cm_max_err cm_bound (100.0 *. cm_within_frac);
+  line "hll hosts: est %.1f vs true %d — rel err %.2f%% (limit 5.00%%)" est_hosts
+    config.hosts (100.0 *. hll_rel_err);
+  Buffer.add_string buf (Sdnctl.Flow_collector.render ~k:10 collector);
+  line "verdict: %s" (if ok then "PASS" else "FAIL");
+  {
+    rp_seed = config.seed;
+    rp_flows = Hashtbl.length true_bytes;
+    rp_packets = plan.Workload.total_packets;
+    rp_seen = Sdnctl.Flow_collector.seen collector;
+    rp_sampled = Sdnctl.Flow_collector.sampled collector;
+    rp_merges = Sdnctl.Flow_collector.merges collector;
+    rp_total_bytes = total_bytes;
+    rp_hh_threshold = threshold;
+    rp_hh_expected = List.length expected_hh;
+    rp_hh_reported = List.length reported_hh;
+    rp_hh_recall = hh_recall;
+    rp_cm_keys = !cm_keys;
+    rp_cm_overestimate_ok = cm_overestimate_ok;
+    rp_cm_max_err = !cm_max_err;
+    rp_cm_bound = cm_bound;
+    rp_cm_within_frac = cm_within_frac;
+    rp_cm_hh_ok = !cm_hh_ok;
+    rp_true_hosts = config.hosts;
+    rp_est_hosts = est_hosts;
+    rp_hll_rel_err = hll_rel_err;
+    rp_ok = ok;
+    rp_text = Buffer.contents buf;
+  }

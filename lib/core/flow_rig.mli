@@ -1,0 +1,69 @@
+(** Accuracy rig for the traffic observability plane: replay a seeded
+    Zipf elephant/mice workload (plus a per-host census segment, so
+    ground truth is known exactly) through a small fabric of sampled
+    switches, roll the per-switch sketches up through
+    {!Sdnctl.Flow_collector} on the sim clock, and compare estimates
+    against exact references:
+
+    - {e heavy hitters}: every flow whose true bytes exceed
+      [hh_frac * total] must appear in the merged top-k (no false
+      negatives);
+    - {e count-min}: point queries over the sampled-scaled stream are
+      overestimate-only, and the fraction within the [epsilon * N]
+      bound must clear [1 - 2 * delta];
+    - {e cardinality}: the HLL estimate of distinct source hosts must
+      sit within ±5% of the census ground truth.
+
+    Deterministic: equal configs (same seed) produce byte-identical
+    reports — CI runs the rig twice and [cmp]s the output. *)
+
+type config = {
+  seed : int;
+  hosts : int;
+  mice : int;
+  elephants : int;
+  switches : int;
+  rate : int;
+  cm_epsilon : float;
+  cm_delta : float;
+  hll_p : int;
+  topk : int;
+  hh_frac : float;  (** heavy-hitter threshold as a fraction of total bytes *)
+  merge_every_ms : int;
+  duration_ns : int;
+}
+
+val default_config : config
+(** 100k hosts, 400 mice, 8 elephants, 4 switches, 1-in-4 sampling,
+    eps 0.005, delta 0.01, p 14, k 32, threshold 2%, merge every 10ms
+    over a 1s window. *)
+
+type report = {
+  rp_seed : int;
+  rp_flows : int;  (** distinct 5-tuples in the workload *)
+  rp_packets : int;
+  rp_seen : int;
+  rp_sampled : int;
+  rp_merges : int;
+  rp_total_bytes : int;
+  rp_hh_threshold : int;
+  rp_hh_expected : int;
+  rp_hh_reported : int;
+  rp_hh_recall : float;
+  rp_cm_keys : int;
+  rp_cm_overestimate_ok : bool;
+  rp_cm_max_err : int;
+  rp_cm_bound : int;  (** [ceil (epsilon * N)] for the sampled stream *)
+  rp_cm_within_frac : float;
+  rp_cm_hh_ok : bool;  (** every heavy hitter's point query within bound *)
+  rp_true_hosts : int;
+  rp_est_hosts : float;
+  rp_hll_rel_err : float;
+  rp_ok : bool;
+  rp_text : string;  (** the full deterministic report *)
+}
+
+val run : ?config:config -> unit -> report
+
+val render : report -> string
+(** [rp_text]. *)

@@ -27,7 +27,11 @@
       vocabulary (tag push, SS_1 translate, hairpin, tag pop);
     - {!Perf_rig}: the deterministic profiling rig behind
       [harmlessctl perf] — per-stage cost attribution for the HARMLESS
-      walk against a direct-OpenFlow control group. *)
+      walk against a direct-OpenFlow control group;
+    - {!Flow_rig}: the sketch-accuracy rig behind
+      [harmlessctl flows --report] — a seeded Zipf elephant/mice
+      workload replayed through a sampled fabric, estimates checked
+      against exact references. *)
 
 module Port_map = Port_map
 module Translator = Translator
@@ -42,3 +46,4 @@ module Dashboard = Dashboard
 module Transparency = Transparency
 module Trace_view = Trace_view
 module Perf_rig = Perf_rig
+module Flow_rig = Flow_rig

@@ -201,6 +201,127 @@ module Fields = struct
       (pp_opt Format.pp_print_int) t.l4_dst
 end
 
+(* Splitmix64-style finalizer over native 63-bit ints: deterministic
+   across runs (unlike [Hashtbl.hash]) and allocation-free (no boxed
+   int64), so flow hashing can sit on the packet hot path.  Kept local —
+   netpkt is below telemetry in the dependency order. *)
+let mix63 ~seed x =
+  let x = x lxor seed in
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x1B03738712FAD5C9 in
+  let x = x lxor (x lsr 31) in
+  x land max_int
+
+let hash_flow_parts ~seed ~ety ~proto ~src ~dst ~sport ~dport =
+  let a = Int32.to_int (Ipv4_addr.to_int32 src) land 0xFFFFFFFF in
+  let b = Int32.to_int (Ipv4_addr.to_int32 dst) land 0xFFFFFFFF in
+  let c =
+    ((ety land 0xFFFF) lsl 41)
+    lor ((proto + 1) lsl 32)
+    lor ((sport land 0xFFFF) lsl 16)
+    lor (dport land 0xFFFF)
+  in
+  mix63 ~seed:(mix63 ~seed:(mix63 ~seed a) b) c
+
+module Flow_key = struct
+  type t = {
+    fk_ety : int;
+    fk_proto : int;
+    fk_src : Ipv4_addr.t;
+    fk_dst : Ipv4_addr.t;
+    fk_sport : int;
+    fk_dport : int;
+  }
+
+  let equal a b =
+    a.fk_ety = b.fk_ety && a.fk_proto = b.fk_proto
+    && Ipv4_addr.equal a.fk_src b.fk_src
+    && Ipv4_addr.equal a.fk_dst b.fk_dst
+    && a.fk_sport = b.fk_sport && a.fk_dport = b.fk_dport
+
+  let compare a b =
+    let c = Int.compare a.fk_ety b.fk_ety in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.fk_proto b.fk_proto in
+      if c <> 0 then c
+      else
+        let c = Ipv4_addr.compare a.fk_src b.fk_src in
+        if c <> 0 then c
+        else
+          let c = Ipv4_addr.compare a.fk_dst b.fk_dst in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.fk_sport b.fk_sport in
+            if c <> 0 then c else Int.compare a.fk_dport b.fk_dport
+
+  let hash ?(seed = 0) t =
+    hash_flow_parts ~seed ~ety:t.fk_ety ~proto:t.fk_proto ~src:t.fk_src
+      ~dst:t.fk_dst ~sport:t.fk_sport ~dport:t.fk_dport
+
+  let to_string t =
+    if t.fk_proto < 0 then Printf.sprintf "ety:0x%04x" t.fk_ety
+    else
+      let src = Ipv4_addr.to_string t.fk_src
+      and dst = Ipv4_addr.to_string t.fk_dst in
+      match t.fk_proto with
+      | 6 -> Printf.sprintf "tcp %s:%d>%s:%d" src t.fk_sport dst t.fk_dport
+      | 17 -> Printf.sprintf "udp %s:%d>%s:%d" src t.fk_sport dst t.fk_dport
+      | 1 -> Printf.sprintf "icmp %s>%s" src dst
+      | p -> Printf.sprintf "ip(%d) %s>%s" p src dst
+
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+end
+
+let flow_key t =
+  match t.l3 with
+  | Ip ip ->
+      let sport, dport =
+        match ip.Ipv4.payload with
+        | Ipv4.Tcp seg -> (seg.Tcp.src_port, seg.Tcp.dst_port)
+        | Ipv4.Udp dgram -> (dgram.Udp.src_port, dgram.Udp.dst_port)
+        | Ipv4.Icmp _ | Ipv4.Raw _ -> (0, 0)
+      in
+      {
+        Flow_key.fk_ety = Ethertype.to_int Ethertype.Ipv4;
+        fk_proto = Ipv4.protocol_number ip.Ipv4.payload;
+        fk_src = ip.Ipv4.src;
+        fk_dst = ip.Ipv4.dst;
+        fk_sport = sport;
+        fk_dport = dport;
+      }
+  | Arp _ | Raw _ ->
+      {
+        Flow_key.fk_ety = Ethertype.to_int (ethertype t);
+        fk_proto = -1;
+        fk_src = Ipv4_addr.any;
+        fk_dst = Ipv4_addr.any;
+        fk_sport = 0;
+        fk_dport = 0;
+      }
+
+(* Same value as [Flow_key.hash (flow_key t)] but computed without
+   materializing the record — the form the zero-alloc fast path wants. *)
+let flow_hash ?(seed = 0) t =
+  match t.l3 with
+  | Ip ip ->
+      let sport, dport =
+        match ip.Ipv4.payload with
+        | Ipv4.Tcp seg -> (seg.Tcp.src_port, seg.Tcp.dst_port)
+        | Ipv4.Udp dgram -> (dgram.Udp.src_port, dgram.Udp.dst_port)
+        | Ipv4.Icmp _ | Ipv4.Raw _ -> (0, 0)
+      in
+      hash_flow_parts ~seed
+        ~ety:(Ethertype.to_int Ethertype.Ipv4)
+        ~proto:(Ipv4.protocol_number ip.Ipv4.payload)
+        ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ~sport ~dport
+  | Arp _ | Raw _ ->
+      hash_flow_parts ~seed
+        ~ety:(Ethertype.to_int (ethertype t))
+        ~proto:(-1) ~src:Ipv4_addr.any ~dst:Ipv4_addr.any ~sport:0 ~dport:0
+
 let udp ?vlans ~dst ~src ~ip_src ~ip_dst ~src_port ~dst_port payload =
   let dgram = Udp.make ~src_port ~dst_port payload in
   make ?vlans ~dst ~src (Ip (Ipv4.make ~src:ip_src ~dst:ip_dst (Ipv4.Udp dgram)))

@@ -74,6 +74,45 @@ module Fields : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** Canonical 5-tuple flow identity used by the sampled-flow telemetry
+    plane (and, later, by the zero-alloc fast path's flow cache). *)
+module Flow_key : sig
+  type t = {
+    fk_ety : int;          (** inner EtherType *)
+    fk_proto : int;        (** IP protocol number; [-1] for non-IP *)
+    fk_src : Ipv4_addr.t;  (** [Ipv4_addr.any] for non-IP *)
+    fk_dst : Ipv4_addr.t;
+    fk_sport : int;        (** 0 when the L4 protocol has no ports *)
+    fk_dport : int;
+  }
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** Total order: ethertype, protocol, src, dst, sport, dport. *)
+
+  val hash : ?seed:int -> t -> int
+  (** Deterministic seeded hash (explicit splitmix-style mixing, not
+      [Hashtbl.hash]): equal keys always hash equal, across runs and
+      OCaml versions.  Non-negative.  Default [seed] 0. *)
+
+  val to_string : t -> string
+  (** e.g. ["udp 10.0.0.1:4242>10.0.1.9:80"], ["icmp 10.0.0.1>10.0.0.2"],
+      ["ety:0x0806"].  Injective per protocol class — usable as a
+      deterministic table key. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val flow_key : t -> Flow_key.t
+(** The frame's 5-tuple identity; VLAN tags are deliberately excluded so
+    a flow keeps one identity across the HARMLESS translator's tag
+    push/pop. *)
+
+val flow_hash : ?seed:int -> t -> int
+(** [Flow_key.hash ~seed (flow_key t)], computed without materializing
+    the key record (allocation-free on IP frames). *)
+
 (** Convenience constructors used by tests, examples and workloads. *)
 val udp :
   ?vlans:Vlan.t list ->

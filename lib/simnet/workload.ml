@@ -1,0 +1,109 @@
+open Netpkt
+
+type flow = {
+  fl_src_host : int;
+  fl_dst_host : int;
+  fl_sport : int;
+  fl_dport : int;
+  fl_packets : int;
+  fl_frame_bytes : int;
+  fl_start_ns : int;
+  fl_gap_ns : int;
+  fl_elephant : bool;
+}
+
+type t = {
+  seed : int;
+  hosts : int;
+  flows : flow array;
+  total_packets : int;
+}
+
+let base_ip = Ipv4_addr.of_octets 10 0 0 1
+
+let host_ip i = Ipv4_addr.add base_ip i
+let host_mac i = Mac_addr.make_local (i + 1)
+
+let plan ~seed ~hosts ~mice ~elephants ?(skew = 1.1) ?(census = true)
+    ?(duration_ns = 1_000_000_000) () =
+  if hosts < 1 then invalid_arg "Workload.plan: hosts must be >= 1";
+  if mice < 0 || elephants < 0 then
+    invalid_arg "Workload.plan: negative flow count";
+  if duration_ns < 1 then invalid_arg "Workload.plan: duration must be >= 1ns";
+  let rng = Rng.create seed in
+  let zipf = Rng.Zipf.create ~n:hosts ~skew in
+  let pick_dst src =
+    if hosts = 1 then src
+    else begin
+      let d = ref (Rng.int rng hosts) in
+      while !d = src do
+        d := Rng.int rng hosts
+      done;
+      !d
+    end
+  in
+  let elephant _ =
+    let src = Rng.Zipf.draw zipf rng in
+    let packets = Rng.int_in rng 2000 5000 in
+    let start = Rng.int rng (max 1 (duration_ns / 4)) in
+    {
+      fl_src_host = src;
+      fl_dst_host = pick_dst src;
+      fl_sport = 32768 + Rng.int rng 16384;
+      fl_dport = Rng.choose rng [| 80; 443 |];
+      fl_packets = packets;
+      fl_frame_bytes = 1518;
+      fl_start_ns = start;
+      fl_gap_ns = max 1 ((duration_ns - start) / packets);
+      fl_elephant = true;
+    }
+  in
+  let mouse _ =
+    let src = Rng.Zipf.draw zipf rng in
+    {
+      fl_src_host = src;
+      fl_dst_host = pick_dst src;
+      fl_sport = 1024 + Rng.int rng 60000;
+      fl_dport = Rng.choose rng [| 53; 80; 123; 443 |];
+      fl_packets = Rng.int_in rng 1 24;
+      fl_frame_bytes = Rng.int_in rng 64 512;
+      fl_start_ns = Rng.int rng duration_ns;
+      fl_gap_ns = Rng.int_in rng 1_000 100_000;
+      fl_elephant = false;
+    }
+  in
+  (* The census segment guarantees every host appears as a source at
+     least once, so the plan's true source cardinality is exactly
+     [hosts] — the ground truth the HLL accuracy checks need. *)
+  let census_flow i =
+    {
+      fl_src_host = i;
+      fl_dst_host = (i + 1) mod hosts;
+      fl_sport = 7000 + (i mod 20000);
+      fl_dport = 7;
+      fl_packets = 1;
+      fl_frame_bytes = 64;
+      fl_start_ns = i * (duration_ns / hosts);
+      fl_gap_ns = 1;
+      fl_elephant = false;
+    }
+  in
+  let flows =
+    Array.concat
+      [
+        Array.init elephants elephant;
+        Array.init mice mouse;
+        (if census then Array.init hosts census_flow else [||]);
+      ]
+  in
+  let total_packets = Array.fold_left (fun n f -> n + f.fl_packets) 0 flows in
+  { seed; hosts; flows; total_packets }
+
+let packet f =
+  Packet.udp
+    ~dst:(host_mac f.fl_dst_host)
+    ~src:(host_mac f.fl_src_host)
+    ~ip_src:(host_ip f.fl_src_host)
+    ~ip_dst:(host_ip f.fl_dst_host)
+    ~src_port:f.fl_sport ~dst_port:f.fl_dport ""
+  |> Packet.pad_to f.fl_frame_bytes

@@ -1,0 +1,55 @@
+(** Seeded heavy-tailed flow workloads: Zipf-popular sources, a few
+    elephant flows carrying most bytes, many mice, and an optional
+    one-packet-per-host census segment that pins the plan's true source
+    cardinality at exactly [hosts].
+
+    This is the first cut of the city-scale workload generator (ROADMAP
+    item 2): today it feeds the flow-telemetry accuracy rig, which
+    needs ground truth (who the elephants are, how many hosts exist)
+    alongside realistic skew.  Plans are pure data — deterministic per
+    seed — and {!packet} materializes frames on demand. *)
+
+type flow = {
+  fl_src_host : int;
+  fl_dst_host : int;
+  fl_sport : int;
+  fl_dport : int;
+  fl_packets : int;
+  fl_frame_bytes : int;  (** target wire size, reached via {!Netpkt.Packet.pad_to} *)
+  fl_start_ns : int;
+  fl_gap_ns : int;  (** inter-packet gap within the flow *)
+  fl_elephant : bool;
+}
+
+type t = {
+  seed : int;
+  hosts : int;
+  flows : flow array;  (** elephants first, then mice, then the census *)
+  total_packets : int;
+}
+
+val plan :
+  seed:int ->
+  hosts:int ->
+  mice:int ->
+  elephants:int ->
+  ?skew:float ->
+  ?census:bool ->
+  ?duration_ns:int ->
+  unit ->
+  t
+(** Defaults: [skew] 1.1, [census] true, [duration_ns] 1s.  Elephants
+    send 2000–5000 full-size (1518 B) frames; mice send 1–24 small
+    frames; census flows send exactly one 64 B frame per host.
+    @raise Invalid_argument on non-positive [hosts] or [duration_ns],
+    or negative flow counts. *)
+
+val host_ip : int -> Netpkt.Ipv4_addr.t
+(** Host [i]'s address, [10.0.0.1 + i]. *)
+
+val host_mac : int -> Netpkt.Mac_addr.t
+
+val packet : flow -> Netpkt.Packet.t
+(** The (single) frame shape this flow sends; every packet of a flow is
+    identical, so callers can build once and replay [fl_packets]
+    times. *)

@@ -34,6 +34,7 @@ type t = {
   mutable since_expiry : int;
   mutable sample_rate : int option;
   mutable sample_countdown : int;
+  mutable flowrec : Flowrec.t option;
   mutable connected : bool;
   mutable alive : bool;
   mutable connection_mode : connection_mode;
@@ -99,6 +100,9 @@ let hardware_dataplane pipeline =
     stats = (fun () -> [ ("packets", !packets) ]);
     tier = (fun () -> "tcam");
   }
+
+let set_flowrec t fr = t.flowrec <- fr
+let flowrec t = t.flowrec
 
 let set_sampling t ~rate =
   (match rate with
@@ -193,6 +197,11 @@ let handle_packet t ~in_port pkt =
     Stats.Counter.incr (Node.counters t.node) "drop_crashed"
   else
   let now_ns = Sim_time.to_ns (Engine.now t.engine) in
+  (* Sampled flow telemetry taps the receive path before the pipeline —
+     the sFlow position.  [None] costs one field read. *)
+  (match t.flowrec with
+  | Some fr -> Flowrec.observe fr ~now_ns ~in_port pkt
+  | None -> ());
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.emit ~ts_ns:now_ns ~component:t.name
       ~layer:Telemetry.Trace.Switch ~stage:"rx" ~port:in_port
@@ -410,6 +419,11 @@ let publish_metrics ?registry ?(labels = []) t =
       ])
 
 let process_direct t ~now_ns ~in_port pkt =
+  (* Observe before the mark so sampled-branch allocations land on the
+     "flowrec.sample" probe site, not on "switch.process". *)
+  (match t.flowrec with
+  | Some fr -> Flowrec.observe fr ~now_ns ~in_port pkt
+  | None -> ());
   let m = Alloc_probe.mark () in
   let out = t.dataplane.Dataplane.process ~now_ns ~in_port pkt in
   Alloc_probe.record "switch.process" m;
@@ -448,6 +462,7 @@ let create engine ~name ~ports ?(dataplane = Eswitch) ?(pmd = Pmd.default_config
       since_expiry = 0;
       sample_rate = None;
       sample_countdown = 0;
+      flowrec = None;
       connected = true;
       alive = true;
       connection_mode = Fail_secure;

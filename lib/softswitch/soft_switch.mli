@@ -101,6 +101,15 @@ val set_sampling : t -> rate:int option -> unit
     to normal forwarding.  [None] disables.
     @raise Invalid_argument if the rate is not positive. *)
 
+val set_flowrec : t -> Flowrec.t option -> unit
+(** Attach (or detach, with [None]) a sampled flow recorder.  When
+    attached, every packet on the receive path — both the PMD path and
+    {!process_direct} — passes through {!Flowrec.observe} before the
+    pipeline runs.  Detached, the hook is one field read and allocates
+    nothing (pinned by the memory-telemetry tests). *)
+
+val flowrec : t -> Flowrec.t option
+
 val expire_flows : t -> unit
 (** Remove idle/hard-timed-out entries now.  Also runs automatically every
     1024 processed packets. *)

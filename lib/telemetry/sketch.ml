@@ -1,0 +1,274 @@
+(* All hashing below is explicit splitmix64-style mixing over OCaml's
+   native 63-bit ints: deterministic across runs and compiler versions
+   (unlike [Hashtbl.hash]), allocation-free (no boxed int64), and good
+   enough avalanche for the pairwise-independence the sketch bounds
+   assume in practice.  Multiplications wrap silently, which is exactly
+   what a finalizer wants; the final [land max_int] clamps to a
+   non-negative value so [mod] indexing is safe. *)
+let mix ~seed x =
+  let x = x lxor seed in
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x1B03738712FAD5C9 in
+  let x = x lxor (x lsr 31) in
+  x land max_int
+
+module Cm = struct
+  type t = {
+    seed : int;
+    epsilon : float;
+    delta : float;
+    width : int;
+    depth : int;
+    row_seeds : int array;
+    counts : int array; (* depth rows of width counters, flattened *)
+    mutable total : int;
+  }
+
+  let create ~seed ~epsilon ~delta =
+    if not (epsilon > 0.0 && epsilon < 1.0) then
+      invalid_arg "Sketch.Cm.create: epsilon must be in (0, 1)";
+    if not (delta > 0.0 && delta < 1.0) then
+      invalid_arg "Sketch.Cm.create: delta must be in (0, 1)";
+    let width = int_of_float (Float.ceil (Float.exp 1.0 /. epsilon)) in
+    let depth = max 1 (int_of_float (Float.ceil (Float.log (1.0 /. delta)))) in
+    let row_seeds =
+      Array.init depth (fun row -> mix ~seed ((row + 1) * 0x9E3779B9))
+    in
+    {
+      seed;
+      epsilon;
+      delta;
+      width;
+      depth;
+      row_seeds;
+      counts = Array.make (width * depth) 0;
+      total = 0;
+    }
+
+  let seed t = t.seed
+  let epsilon t = t.epsilon
+  let delta t = t.delta
+  let width t = t.width
+  let depth t = t.depth
+  let total t = t.total
+
+  let update t ~key n =
+    if n < 0 then invalid_arg "Sketch.Cm.update: negative increment";
+    t.total <- t.total + n;
+    for row = 0 to t.depth - 1 do
+      let idx = mix ~seed:(Array.unsafe_get t.row_seeds row) key mod t.width in
+      let i = (row * t.width) + idx in
+      Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + n)
+    done
+
+  let query t ~key =
+    let est = ref max_int in
+    for row = 0 to t.depth - 1 do
+      let idx = mix ~seed:(Array.unsafe_get t.row_seeds row) key mod t.width in
+      let c = Array.unsafe_get t.counts ((row * t.width) + idx) in
+      if c < !est then est := c
+    done;
+    !est
+
+  let merge a b =
+    if a.seed <> b.seed || a.width <> b.width || a.depth <> b.depth then
+      invalid_arg "Sketch.Cm.merge: incompatible sketches";
+    let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
+    { a with counts; total = a.total + b.total }
+
+  let equal a b =
+    a.seed = b.seed && a.width = b.width && a.depth = b.depth
+    && a.total = b.total
+    && a.counts = b.counts
+
+  let memory_words t =
+    (* counters + per-row seeds + boxed floats + record fields *)
+    Array.length t.counts + 1 + t.depth + 1 + (2 * 2) + 9
+end
+
+module Hll = struct
+  type t = {
+    seed : int;
+    p : int;
+    m : int; (* 2^p registers *)
+    registers : Bytes.t;
+  }
+
+  let create ~seed ~p =
+    if p < 4 || p > 16 then invalid_arg "Sketch.Hll.create: p must be in [4, 16]";
+    let m = 1 lsl p in
+    { seed; p; m; registers = Bytes.make m '\000' }
+
+  let seed t = t.seed
+  let p t = t.p
+
+  (* Position of the first set bit of [w] (1-based); [maxbits + 1] when
+     [w] is all zeroes.  A loop rather than a table: registers update
+     rarely, and the loop allocates nothing. *)
+  let rho ~maxbits w =
+    if w = 0 then maxbits + 1
+    else begin
+      let r = ref 1 and w = ref w in
+      while !w land 1 = 0 do
+        incr r;
+        w := !w lsr 1
+      done;
+      !r
+    end
+
+  let add t x =
+    let h = mix ~seed:t.seed x in
+    let idx = h land (t.m - 1) in
+    let w = h lsr t.p in
+    let r = rho ~maxbits:(62 - t.p) w in
+    if r > Char.code (Bytes.unsafe_get t.registers idx) then
+      Bytes.unsafe_set t.registers idx (Char.unsafe_chr r)
+
+  let alpha m =
+    if m = 16 then 0.673
+    else if m = 32 then 0.697
+    else if m = 64 then 0.709
+    else 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+
+  let estimate t =
+    let sum = ref 0.0 and zeros = ref 0 in
+    for i = 0 to t.m - 1 do
+      let r = Char.code (Bytes.unsafe_get t.registers i) in
+      if r = 0 then incr zeros;
+      sum := !sum +. (1.0 /. float_of_int (1 lsl r))
+    done;
+    let m = float_of_int t.m in
+    let raw = alpha t.m *. m *. m /. !sum in
+    (* Linear-counting correction for the small-cardinality regime; with
+       63-bit hashes there is no large-range correction to apply. *)
+    if raw <= 2.5 *. m && !zeros > 0 then m *. Float.log (m /. float_of_int !zeros)
+    else raw
+
+  let merge a b =
+    if a.seed <> b.seed || a.p <> b.p then
+      invalid_arg "Sketch.Hll.merge: incompatible sketches";
+    let registers = Bytes.copy a.registers in
+    for i = 0 to a.m - 1 do
+      let rb = Bytes.get b.registers i in
+      if rb > Bytes.get registers i then Bytes.set registers i rb
+    done;
+    { a with registers }
+
+  let equal a b =
+    a.seed = b.seed && a.p = b.p && Bytes.equal a.registers b.registers
+
+  let memory_words t = ((t.m + 7) / 8) + 1 + 4
+end
+
+module Topk = struct
+  type entry = { key : string; mutable count : int; mutable err : int }
+
+  type t = {
+    k : int;
+    tbl : (string, entry) Hashtbl.t;
+    mutable floor : int;
+  }
+
+  let create ~k =
+    if k < 1 then invalid_arg "Sketch.Topk.create: k must be >= 1";
+    { k; tbl = Hashtbl.create k; floor = 0 }
+
+  let k t = t.k
+  let size t = Hashtbl.length t.tbl
+  let floor t = t.floor
+
+  (* The entry to evict: minimum count; ties broken towards the
+     lexicographically greatest key so eviction (and therefore the whole
+     summary) is independent of hash-table iteration order. *)
+  let victim t =
+    Hashtbl.fold
+      (fun _ e best ->
+        match best with
+        | None -> Some e
+        | Some b ->
+            if e.count < b.count
+               || (e.count = b.count && String.compare e.key b.key > 0)
+            then Some e
+            else best)
+      t.tbl None
+
+  let observe t ~key ~n =
+    if n < 0 then invalid_arg "Sketch.Topk.observe: negative increment";
+    match Hashtbl.find_opt t.tbl key with
+    | Some e -> e.count <- e.count + n
+    | None ->
+        if Hashtbl.length t.tbl < t.k then
+          (* [floor] is 0 until the first eviction; merged summaries may
+             carry a non-zero floor, which bounds what this key may have
+             accumulated while untracked. *)
+          Hashtbl.replace t.tbl key { key; count = t.floor + n; err = t.floor }
+        else begin
+          match victim t with
+          | None -> assert false
+          | Some v ->
+              Hashtbl.remove t.tbl v.key;
+              if v.count > t.floor then t.floor <- v.count;
+              Hashtbl.replace t.tbl key
+                { key; count = v.count + n; err = v.count }
+        end
+
+  let to_list t =
+    Hashtbl.fold (fun _ e acc -> (e.key, e.count, e.err) :: acc) t.tbl []
+    |> List.sort (fun (ka, ca, _) (kb, cb, _) ->
+           match Int.compare cb ca with
+           | 0 -> String.compare ka kb
+           | c -> c)
+
+  let find t key =
+    Option.map (fun e -> (e.count, e.err)) (Hashtbl.find_opt t.tbl key)
+
+  let merge a b =
+    if a.k <> b.k then invalid_arg "Sketch.Topk.merge: k mismatch";
+    let keys = Hashtbl.create (2 * a.k) in
+    let collect t = Hashtbl.iter (fun key _ -> Hashtbl.replace keys key ()) t.tbl in
+    collect a;
+    collect b;
+    let side t key =
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> (e.count, e.err)
+      | None -> (t.floor, t.floor)
+    in
+    let combined =
+      Hashtbl.fold
+        (fun key () acc ->
+          let ca, ea = side a key and cb, eb = side b key in
+          (key, ca + cb, ea + eb) :: acc)
+        keys []
+      |> List.sort (fun (ka, ca, _) (kb, cb, _) ->
+             match Int.compare cb ca with
+             | 0 -> String.compare ka kb
+             | c -> c)
+    in
+    let merged = create ~k:a.k in
+    merged.floor <- a.floor + b.floor;
+    List.iteri
+      (fun i (key, count, err) ->
+        if i < a.k then Hashtbl.replace merged.tbl key { key; count; err }
+        else if count > merged.floor then merged.floor <- count)
+      combined;
+    merged
+
+  let equal a b =
+    a.k = b.k && a.floor = b.floor
+    && Hashtbl.length a.tbl = Hashtbl.length b.tbl
+    && Hashtbl.fold
+         (fun key e ok ->
+           ok
+           && match Hashtbl.find_opt b.tbl key with
+              | Some e' -> e.count = e'.count && e.err = e'.err
+              | None -> false)
+         a.tbl true
+
+  let memory_words t =
+    Hashtbl.fold
+      (fun _ e acc -> acc + 4 + 1 + ((String.length e.key + 8) / 8))
+      t.tbl
+      (4 + (2 * t.k))
+end

@@ -1,0 +1,133 @@
+(** Bounded-memory traffic sketches: the measurement substrate for
+    fabric-scale flow telemetry.
+
+    Exact per-flow state ({!Timeseries} per flow, one hash-table entry
+    per talker) cannot scale to millions of hosts.  These summaries
+    trade a provable, tunable accuracy loss for {e fixed} memory:
+
+    - {!Cm} — count-min sketch: point queries over-estimate by at most
+      [epsilon * total] with probability [1 - delta], in
+      [O(1/epsilon * ln 1/delta)] counters;
+    - {!Hll} — HyperLogLog cardinality estimator: relative error
+      ~[1.04 / sqrt (2^p)] in [2^p] bytes;
+    - {!Topk} — space-saving heavy-hitter list: at most [k] entries,
+      every true heavy hitter with count above the eviction floor is
+      present, and each reported count carries its own error bound.
+
+    All three are deterministic (explicitly seeded mixing — never
+    [Hashtbl.hash], so reports are byte-identical across runs and OCaml
+    versions) and mergeable: [merge a b] equals the sketch of the
+    concatenated streams, which is how per-switch summaries roll up
+    into one fabric-wide view. *)
+
+val mix : seed:int -> int -> int
+(** The shared 63-bit finalizer (splitmix64-style).  Deterministic,
+    allocation-free, result in [\[0, max_int\]]. *)
+
+(** Count-min sketch over integer keys (use {!mix} or a flow hash to
+    key arbitrary data).  Counters are plain [int]s; updates add
+    non-negative increments. *)
+module Cm : sig
+  type t
+
+  val create : seed:int -> epsilon:float -> delta:float -> t
+  (** Width [ceil (e / epsilon)], depth [ceil (ln (1 / delta))].
+      @raise Invalid_argument unless [0 < epsilon < 1] and
+      [0 < delta < 1]. *)
+
+  val seed : t -> int
+  val epsilon : t -> float
+  val delta : t -> float
+  val width : t -> int
+  val depth : t -> int
+
+  val update : t -> key:int -> int -> unit
+  (** Add [n >= 0] to [key].  Allocation-free.
+      @raise Invalid_argument if [n < 0]. *)
+
+  val query : t -> key:int -> int
+  (** Estimated count: never under the true count, and over by at most
+      [epsilon * total] with probability [1 - delta]. *)
+
+  val total : t -> int
+  (** Sum of all increments (the stream length [N] in the bound). *)
+
+  val merge : t -> t -> t
+  (** Counter-wise sum — exactly the sketch of the combined stream.
+      @raise Invalid_argument unless seeds and dimensions agree. *)
+
+  val equal : t -> t -> bool
+  val memory_words : t -> int
+  (** Heap footprint in words — a function of [epsilon]/[delta] only,
+      independent of how many keys were fed in. *)
+end
+
+(** HyperLogLog cardinality estimator over integer keys. *)
+module Hll : sig
+  type t
+
+  val create : seed:int -> p:int -> t
+  (** [2^p] one-byte registers.  @raise Invalid_argument unless
+      [4 <= p <= 16]. *)
+
+  val seed : t -> int
+  val p : t -> int
+
+  val add : t -> int -> unit
+  (** Observe a key (duplicates are free).  Allocation-free. *)
+
+  val estimate : t -> float
+  (** Estimated number of distinct keys, with linear-counting
+      correction for small cardinalities.  Standard error is
+      [1.04 / sqrt (2^p)] (0.8% at [p = 14]). *)
+
+  val merge : t -> t -> t
+  (** Register-wise max — exactly the sketch of the union.
+      @raise Invalid_argument unless seeds and [p] agree. *)
+
+  val equal : t -> t -> bool
+  val memory_words : t -> int
+end
+
+(** Space-saving top-k heavy hitters (Metwally et al.) over string
+    keys.  At most [k] entries live at any time; when full, the
+    minimum entry is evicted and the newcomer inherits its count as an
+    upper bound, recorded per-entry as [err]. *)
+module Topk : sig
+  type t
+
+  val create : k:int -> t
+  (** @raise Invalid_argument unless [k >= 1]. *)
+
+  val k : t -> int
+  val size : t -> int
+
+  val observe : t -> key:string -> n:int -> unit
+  (** Add [n >= 0] to [key], evicting the current minimum if [key] is
+      new and the summary is full.  @raise Invalid_argument if
+      [n < 0]. *)
+
+  val floor : t -> int
+  (** Upper bound on the count of any key {e not} in the summary (the
+      largest evicted count, 0 if nothing was ever evicted).  Any true
+      heavy hitter with count above [floor] is guaranteed present. *)
+
+  val to_list : t -> (string * int * int) list
+  (** [(key, count, err)] in total order: count desc, then key asc.
+      The true count of [key] lies in [\[count - err, count\]]. *)
+
+  val find : t -> string -> (int * int) option
+  (** [(count, err)] for a tracked key. *)
+
+  val merge : t -> t -> t
+  (** Combine two summaries: counts sum, a key absent from one side
+      contributes that side's {!floor} (added to the entry's error),
+      then the union is re-truncated to the top [k].  When neither
+      input ever evicted, the merge is exact.
+      @raise Invalid_argument unless the two [k] agree. *)
+
+  val equal : t -> t -> bool
+  val memory_words : t -> int
+  (** Upper bound on the heap footprint — a function of [k] and key
+      lengths only. *)
+end

@@ -313,6 +313,63 @@ let packet_tests =
         | None -> Alcotest.fail "should survive");
   ]
 
+(* ---- Flow identity ---- *)
+
+let flow_tests =
+  [
+    prop "flow_hash equals Flow_key.hash of flow_key" Gen.packet_gen
+      ~print:Gen.packet_print (fun pkt ->
+        let key = Packet.flow_key pkt in
+        Packet.flow_hash pkt = Packet.Flow_key.hash key
+        && Packet.flow_hash ~seed:7 pkt = Packet.Flow_key.hash ~seed:7 key
+        && Packet.flow_hash pkt >= 0);
+    prop "flow identity survives encode/decode" Gen.packet_gen
+      ~print:Gen.packet_print (fun pkt ->
+        let pkt' = Packet.decode (Packet.encode pkt) in
+        Packet.Flow_key.equal (Packet.flow_key pkt) (Packet.flow_key pkt')
+        && Packet.flow_hash pkt = Packet.flow_hash pkt');
+    prop "vlan push and pop never change the flow"
+      (QCheck2.Gen.pair Gen.packet_gen Gen.vlan_gen)
+      ~print:(fun (pkt, _) -> Gen.packet_print pkt)
+      (fun (pkt, tag) ->
+        Packet.Flow_key.equal (Packet.flow_key pkt)
+          (Packet.flow_key (Packet.push_vlan tag pkt)));
+    prop "equal keys agree with compare and hash equal"
+      (QCheck2.Gen.pair Gen.packet_gen Gen.packet_gen)
+      ~print:(fun (a, _) -> Gen.packet_print a)
+      (fun (a, b) ->
+        let ka = Packet.flow_key a and kb = Packet.flow_key b in
+        Packet.Flow_key.equal ka kb = (Packet.Flow_key.compare ka kb = 0)
+        && ((not (Packet.Flow_key.equal ka kb))
+           || Packet.Flow_key.hash ka = Packet.Flow_key.hash kb));
+    tc "to_string names the protocol and endpoints" (fun () ->
+        let udp =
+          Packet.udp ~dst:(Mac_addr.make_local 1) ~src:(Mac_addr.make_local 2)
+            ~ip_src:src ~ip_dst:dst ~src_port:4242 ~dst_port:80 "x"
+        in
+        check Alcotest.string "udp" "udp 10.0.0.1:4242>10.0.0.2:80"
+          (Packet.Flow_key.to_string (Packet.flow_key udp));
+        let tcp =
+          Packet.tcp ~dst:(Mac_addr.make_local 1) ~src:(Mac_addr.make_local 2)
+            ~ip_src:src ~ip_dst:dst ~src_port:1 ~dst_port:443 "x"
+        in
+        check Alcotest.string "tcp" "tcp 10.0.0.1:1>10.0.0.2:443"
+          (Packet.Flow_key.to_string (Packet.flow_key tcp)));
+    tc "non-IP frames key on the ethertype alone" (fun () ->
+        let arp =
+          Packet.arp_request ~src_mac:(Mac_addr.make_local 2) ~src_ip:src
+            ~target_ip:dst
+        in
+        let k = Packet.flow_key arp in
+        check Alcotest.int "ethertype" 0x0806 k.Packet.Flow_key.fk_ety;
+        check Alcotest.int "no protocol" (-1) k.Packet.Flow_key.fk_proto;
+        check Alcotest.bool "any src" true
+          (Ipv4_addr.equal k.Packet.Flow_key.fk_src Ipv4_addr.any);
+        check Alcotest.int "no sport" 0 k.Packet.Flow_key.fk_sport;
+        check Alcotest.string "rendered" "ety:0x0806"
+          (Packet.Flow_key.to_string k));
+  ]
+
 let suite =
   [
     ("netpkt.mac", mac_tests);
@@ -322,4 +379,5 @@ let suite =
     ("netpkt.l4", l4_tests);
     ("netpkt.http", http_tests);
     ("netpkt.packet", packet_tests);
+    ("netpkt.flow", flow_tests);
   ]

@@ -257,7 +257,8 @@ let dashboard_tests =
         check_contains "ports" ~needle:"ports (rates over" frame;
         check_contains "bars" ~needle:"|#" frame;
         check_contains "flows" ~needle:"flows by byte rate" frame;
-        check_contains "alerts" ~needle:"alerts: 4 rule(s)" frame;
+        check_contains "alerts" ~needle:"alerts: 6 rule(s)" frame;
+        check_contains "flow alert" ~needle:"elephant-flow" frame;
         check_contains "traffic alert" ~needle:"dataplane-active" frame;
         check_contains "gc panel" ~needle:"gc: " frame;
         check_contains "gc rule" ~needle:"gc-alloc-rate" frame;

@@ -1,0 +1,304 @@
+(* Sketch guarantees: count-min is overestimate-only and within the
+   epsilon*N bound on a pinned seeded stream, HLL sits inside its error
+   envelope at three cardinalities, space-saving never loses a heavy
+   hitter above the floor, merges equal the sketch of the concatenated
+   streams, and memory stays fixed while a million distinct flows pour
+   through. *)
+
+open Telemetry
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 200) gen ~print f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print gen f)
+
+(* A small update stream: (key, increment) pairs over a narrow key
+   space so collisions and repeats actually happen. *)
+let stream_gen =
+  QCheck2.Gen.(list_size (int_bound 80) (pair (int_bound 50) (int_bound 20)))
+
+let stream_print s =
+  String.concat ";"
+    (List.map (fun (k, n) -> Printf.sprintf "%d+%d" k n) s)
+
+let exact_counts stream =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun (k, n) ->
+      Hashtbl.replace h k (n + Option.value ~default:0 (Hashtbl.find_opt h k)))
+    stream;
+  h
+
+(* ---- shared mixer ---- *)
+
+let mix_tests =
+  [
+    tc "deterministic and seed-sensitive" (fun () ->
+        check Alcotest.int "same seed same value" (Sketch.mix ~seed:7 42)
+          (Sketch.mix ~seed:7 42);
+        check Alcotest.bool "seed matters" true
+          (Sketch.mix ~seed:7 42 <> Sketch.mix ~seed:8 42));
+    prop "non-negative for any input" QCheck2.Gen.int ~print:string_of_int
+      (fun x ->
+        Sketch.mix ~seed:1 x >= 0
+        && Sketch.mix ~seed:max_int x >= 0
+        && Sketch.mix ~seed:0 x >= 0);
+  ]
+
+(* ---- count-min ---- *)
+
+let cm_of ~seed stream =
+  let t = Sketch.Cm.create ~seed ~epsilon:0.02 ~delta:0.05 in
+  List.iter (fun (k, n) -> Sketch.Cm.update t ~key:k n) stream;
+  t
+
+let cm_tests =
+  [
+    tc "dimensions follow epsilon and delta" (fun () ->
+        let t = Sketch.Cm.create ~seed:42 ~epsilon:0.005 ~delta:0.01 in
+        check Alcotest.int "width = ceil(e/eps)" 544 (Sketch.Cm.width t);
+        check Alcotest.int "depth = ceil(ln 1/delta)" 5 (Sketch.Cm.depth t));
+    tc "invalid parameters rejected" (fun () ->
+        let bad f =
+          try
+            f ();
+            Alcotest.fail "expected Invalid_argument"
+          with Invalid_argument _ -> ()
+        in
+        bad (fun () ->
+            ignore (Sketch.Cm.create ~seed:1 ~epsilon:0. ~delta:0.1));
+        bad (fun () ->
+            ignore (Sketch.Cm.create ~seed:1 ~epsilon:1.5 ~delta:0.1));
+        bad (fun () ->
+            let t = Sketch.Cm.create ~seed:1 ~epsilon:0.1 ~delta:0.1 in
+            Sketch.Cm.update t ~key:3 (-1));
+        bad (fun () ->
+            let a = Sketch.Cm.create ~seed:1 ~epsilon:0.1 ~delta:0.1 in
+            let b = Sketch.Cm.create ~seed:2 ~epsilon:0.1 ~delta:0.1 in
+            ignore (Sketch.Cm.merge a b)));
+    prop "queries never underestimate" stream_gen ~print:stream_print
+      (fun stream ->
+        let t = cm_of ~seed:9 stream in
+        let exact = exact_counts stream in
+        Hashtbl.fold
+          (fun k n ok -> ok && Sketch.Cm.query t ~key:k >= n)
+          exact true
+        && Sketch.Cm.total t = List.fold_left (fun a (_, n) -> a + n) 0 stream);
+    prop "merge equals the sketch of the concatenated stream" stream_gen
+      ~print:stream_print (fun stream ->
+        let n = List.length stream / 2 in
+        let a = List.filteri (fun i _ -> i < n) stream in
+        let b = List.filteri (fun i _ -> i >= n) stream in
+        Sketch.Cm.equal
+          (Sketch.Cm.merge (cm_of ~seed:9 a) (cm_of ~seed:9 b))
+          (cm_of ~seed:9 stream));
+    prop "same seed, same stream, same sketch" stream_gen ~print:stream_print
+      (fun stream ->
+        Sketch.Cm.equal (cm_of ~seed:5 stream) (cm_of ~seed:5 stream));
+    tc "epsilon bound holds on a seeded Zipf stream" (fun () ->
+        (* 100k updates over 20k Zipf-distributed keys: every query must
+           be an overestimate, and at least 1 - 2*delta of the keys must
+           sit within ceil(epsilon * N) of the truth. *)
+        let epsilon = 0.005 and delta = 0.01 in
+        let t = Sketch.Cm.create ~seed:42 ~epsilon ~delta in
+        let rng = Simnet.Rng.create 42 in
+        let zipf = Simnet.Rng.Zipf.create ~n:20_000 ~skew:1.1 in
+        let exact = Hashtbl.create 4096 in
+        for _ = 1 to 100_000 do
+          let k = Simnet.Rng.Zipf.draw zipf rng in
+          Sketch.Cm.update t ~key:k 1;
+          Hashtbl.replace exact k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt exact k))
+        done;
+        let bound =
+          int_of_float (ceil (epsilon *. float_of_int (Sketch.Cm.total t)))
+        in
+        let keys, within =
+          Hashtbl.fold
+            (fun k n (keys, within) ->
+              let est = Sketch.Cm.query t ~key:k in
+              if est < n then Alcotest.failf "underestimate at key %d" k;
+              (keys + 1, if est - n <= bound then within + 1 else within))
+            exact (0, 0)
+        in
+        check Alcotest.int "stream length" 100_000 (Sketch.Cm.total t);
+        check Alcotest.bool "within-bound fraction clears 1 - 2*delta" true
+          (float_of_int within /. float_of_int keys >= 1. -. (2. *. delta)));
+  ]
+
+(* ---- HyperLogLog ---- *)
+
+let hll_of ~seed keys =
+  let t = Sketch.Hll.create ~seed ~p:10 in
+  List.iter (Sketch.Hll.add t) keys;
+  t
+
+let hll_estimate_n ~n =
+  let t = Sketch.Hll.create ~seed:42 ~p:14 in
+  for i = 1 to n do
+    Sketch.Hll.add t i;
+    (* duplicates must be free *)
+    Sketch.Hll.add t i
+  done;
+  Sketch.Hll.estimate t
+
+let hll_tests =
+  [
+    tc "error envelope at three cardinalities" (fun () ->
+        let rel n =
+          abs_float (hll_estimate_n ~n -. float_of_int n) /. float_of_int n
+        in
+        check Alcotest.bool "100 within 2%" true (rel 100 <= 0.02);
+        check Alcotest.bool "10^4 within 5%" true (rel 10_000 <= 0.05);
+        check Alcotest.bool "10^5 within 5%" true (rel 100_000 <= 0.05));
+    tc "p out of range and seed mismatch rejected" (fun () ->
+        let bad f =
+          try
+            f ();
+            Alcotest.fail "expected Invalid_argument"
+          with Invalid_argument _ -> ()
+        in
+        bad (fun () -> ignore (Sketch.Hll.create ~seed:1 ~p:3));
+        bad (fun () -> ignore (Sketch.Hll.create ~seed:1 ~p:17));
+        bad (fun () ->
+            ignore
+              (Sketch.Hll.merge
+                 (Sketch.Hll.create ~seed:1 ~p:10)
+                 (Sketch.Hll.create ~seed:2 ~p:10))));
+    prop "merge equals the sketch of the union"
+      QCheck2.Gen.(pair (list small_nat) (list small_nat))
+      ~print:(fun (a, b) ->
+        Printf.sprintf "(%d,%d keys)" (List.length a) (List.length b))
+      (fun (a, b) ->
+        Sketch.Hll.equal
+          (Sketch.Hll.merge (hll_of ~seed:3 a) (hll_of ~seed:3 b))
+          (hll_of ~seed:3 (a @ b)));
+    prop "same seed, same keys, same registers" QCheck2.Gen.(list small_nat)
+      ~print:(fun l -> string_of_int (List.length l))
+      (fun keys ->
+        Sketch.Hll.equal (hll_of ~seed:11 keys) (hll_of ~seed:11 keys));
+  ]
+
+(* ---- space-saving top-k ---- *)
+
+let topk_of ~k stream =
+  let t = Sketch.Topk.create ~k in
+  List.iter
+    (fun (key, n) -> Sketch.Topk.observe t ~key:(string_of_int key) ~n)
+    stream;
+  t
+
+let topk_tests =
+  [
+    tc "exact below capacity, ordered count desc then key asc" (fun () ->
+        let t = Sketch.Topk.create ~k:8 in
+        List.iter
+          (fun (key, n) -> Sketch.Topk.observe t ~key ~n)
+          [ ("b", 5); ("a", 9); ("c", 5); ("a", 1) ];
+        check Alcotest.int "floor" 0 (Sketch.Topk.floor t);
+        check
+          Alcotest.(list (triple string int int))
+          "exact ordered list"
+          [ ("a", 10, 0); ("b", 5, 0); ("c", 5, 0) ]
+          (Sketch.Topk.to_list t));
+    tc "eviction transfers the floor into the newcomer's error" (fun () ->
+        let t = Sketch.Topk.create ~k:2 in
+        Sketch.Topk.observe t ~key:"a" ~n:5;
+        Sketch.Topk.observe t ~key:"b" ~n:3;
+        Sketch.Topk.observe t ~key:"c" ~n:1;
+        (* b (the minimum, 3) is evicted; c inherits 3 as error *)
+        check Alcotest.int "floor is the evicted count" 3 (Sketch.Topk.floor t);
+        check
+          Alcotest.(option (pair int int))
+          "newcomer count/err" (Some (4, 3))
+          (Sketch.Topk.find t "c");
+        check Alcotest.(option (pair int int)) "survivor untouched"
+          (Some (5, 0)) (Sketch.Topk.find t "a");
+        check Alcotest.(option (pair int int)) "victim gone" None
+          (Sketch.Topk.find t "b"));
+    prop "counts bracket the truth; heavy keys above the floor survive"
+      stream_gen ~print:stream_print (fun stream ->
+        let t = topk_of ~k:4 stream in
+        let exact = exact_counts stream in
+        let floor = Sketch.Topk.floor t in
+        List.for_all
+          (fun (key, count, err) ->
+            let truth =
+              Option.value ~default:0 (Hashtbl.find_opt exact (int_of_string key))
+            in
+            count >= truth && count - err <= truth)
+          (Sketch.Topk.to_list t)
+        && Hashtbl.fold
+             (fun key n ok ->
+               ok
+               && (n <= floor
+                  || Sketch.Topk.find t (string_of_int key) <> None))
+             exact true
+        && Sketch.Topk.size t <= 4);
+    prop "merge is exact when neither side ever evicted" stream_gen
+      ~print:stream_print (fun stream ->
+        let n = List.length stream / 2 in
+        let a = List.filteri (fun i _ -> i < n) stream in
+        let b = List.filteri (fun i _ -> i >= n) stream in
+        (* k = 64 > the 51-key space: no evictions anywhere *)
+        Sketch.Topk.equal
+          (Sketch.Topk.merge (topk_of ~k:64 a) (topk_of ~k:64 b))
+          (topk_of ~k:64 stream));
+    tc "k must be positive; merge needs matching k" (fun () ->
+        let bad f =
+          try
+            f ();
+            Alcotest.fail "expected Invalid_argument"
+          with Invalid_argument _ -> ()
+        in
+        bad (fun () -> ignore (Sketch.Topk.create ~k:0));
+        bad (fun () ->
+            ignore
+              (Sketch.Topk.merge
+                 (Sketch.Topk.create ~k:2)
+                 (Sketch.Topk.create ~k:3))));
+  ]
+
+(* ---- the acceptance bound: fixed memory at fabric scale ---- *)
+
+let memory_tests =
+  [
+    tc "memory is flat across a million distinct flows" (fun () ->
+        let cm = Sketch.Cm.create ~seed:42 ~epsilon:0.005 ~delta:0.01 in
+        let hll = Sketch.Hll.create ~seed:42 ~p:14 in
+        let topk = Sketch.Topk.create ~k:32 in
+        let cm0 = Sketch.Cm.memory_words cm in
+        let hll0 = Sketch.Hll.memory_words hll in
+        let topk_bound = Sketch.Topk.memory_words topk in
+        for i = 1 to 1_000_000 do
+          Sketch.Cm.update cm ~key:i 1;
+          Sketch.Hll.add hll i;
+          if i mod 61 = 0 then
+            (* a sparse sampled sub-stream, as the flow recorder feeds it *)
+            Sketch.Topk.observe topk ~key:(string_of_int i) ~n:1
+        done;
+        check Alcotest.int "count-min words unchanged" cm0
+          (Sketch.Cm.memory_words cm);
+        check Alcotest.int "hll words unchanged" hll0
+          (Sketch.Hll.memory_words hll);
+        check Alcotest.bool "top-k stays within its k-bounded envelope" true
+          (Sketch.Topk.memory_words topk
+          <= topk_bound + (32 * (3 + String.length "1000000")));
+        check Alcotest.bool "top-k holds at most k entries" true
+          (Sketch.Topk.size topk <= 32);
+        check Alcotest.int "nothing lost: total matches the stream" 1_000_000
+          (Sketch.Cm.total cm);
+        check Alcotest.bool "hll tracks the million within 5%" true
+          (abs_float (Sketch.Hll.estimate hll -. 1e6) /. 1e6 <= 0.05));
+  ]
+
+let suite =
+  [
+    ("sketch.mix", mix_tests);
+    ("sketch.cm", cm_tests);
+    ("sketch.hll", hll_tests);
+    ("sketch.topk", topk_tests);
+    ("sketch.memory", memory_tests);
+  ]
